@@ -1,0 +1,30 @@
+"""Extension bench: multi-hop savings with cell-edge sessions.
+
+Re-runs the Fig.-2(f) comparison with every session terminating at the
+users farthest from all base stations, where relaying pays most; the
+assertion is the paper's mechanism claim — multi-hop beats one-hop in
+steady state once destinations sit at the cell edge.
+"""
+
+from repro.config import cell_edge_scenario
+from repro.experiments import run_cell_edge
+
+
+def test_cell_edge_multi_hop_saving(benchmark, show, bench_base):
+    base = cell_edge_scenario(
+        num_slots=max(100, bench_base.num_slots),
+        num_users=bench_base.num_users,
+        seed=bench_base.seed,
+    )
+
+    result = benchmark.pedantic(
+        run_cell_edge,
+        kwargs={"base": base, "v_values": (1e5,)},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    assert result.multi_hop_saving(1e5) > 0.0, (
+        "multi-hop should save steady-state energy for cell-edge sessions"
+    )

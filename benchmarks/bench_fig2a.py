@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 2(a) — cost bounds versus V.
+
+Prints the upper bound (our algorithm), the empirical lower bound (the
+relaxed LP optimum), and the formal Theorem-5 bound per V, and asserts
+the paper's shape: the bound gap closes as V grows.
+"""
+
+from repro.experiments import run_fig2a
+
+
+def test_fig2a_bounds_vs_v(benchmark, show, bench_base, bench_v_sweep):
+    result = benchmark.pedantic(
+        run_fig2a,
+        kwargs={"base": bench_base, "v_values": bench_v_sweep},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    gaps = [r.gap for r in result.reports]
+    assert gaps[-1] < gaps[0], "bound gap must shrink with V"
+    for report in result.reports:
+        assert report.lower <= report.upper
+        assert report.relaxed_penalty <= report.upper * 1.05 + 1.0

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 2(b) — BS data-queue backlog over time per V.
+
+Asserts the paper's shape: backlogs stay bounded (not growing at the
+horizon tail) and a larger V sustains a larger backlog.
+"""
+
+from repro.experiments import run_fig2b
+from repro.queueing.stability import StabilityVerdict, assess_strong_stability
+
+
+def test_fig2b_bs_backlog(benchmark, show, bench_base, bench_v_backlog):
+    result = benchmark.pedantic(
+        run_fig2b,
+        kwargs={"base": bench_base, "v_values": bench_v_backlog},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    means = result.mean_values()
+    v_low, v_high = min(means), max(means)
+    assert means[v_high] >= means[v_low] * 0.8, "backlog should grow with V"
+    for series in result.series.values():
+        verdict = assess_strong_stability(series).verdict
+        assert verdict is not StabilityVerdict.UNSTABLE

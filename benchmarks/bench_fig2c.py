@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 2(c) — user data-queue backlog over time per V.
+
+Asserts bounded (non-diverging) user backlogs across the V sweep.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2c
+from repro.queueing.stability import StabilityVerdict, assess_strong_stability
+
+
+def test_fig2c_user_backlog(benchmark, show, bench_base, bench_v_backlog):
+    result = benchmark.pedantic(
+        run_fig2c,
+        kwargs={"base": bench_base, "v_values": bench_v_backlog},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    for series in result.series.values():
+        assert np.all(series >= 0)
+        verdict = assess_strong_stability(series).verdict
+        assert verdict is not StabilityVerdict.UNSTABLE

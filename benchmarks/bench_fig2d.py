@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 2(d) — BS energy buffers over time per V.
+
+Asserts the paper's shape: buffers fill over time, never exceed the
+installed capacity, and settle higher for larger V (the V*gamma_max
+threshold effect).
+"""
+
+from repro.experiments import run_fig2d
+
+
+def test_fig2d_bs_energy_buffers(benchmark, show, bench_base, bench_v_backlog):
+    result = benchmark.pedantic(
+        run_fig2d,
+        kwargs={"base": bench_base, "v_values": bench_v_backlog},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    capacity = (
+        bench_base.num_base_stations * bench_base.bs_energy.battery_capacity_j
+    )
+    for series in result.series.values():
+        assert series.max() <= capacity + 1e-6
+
+    finals = result.final_values()
+    v_values = sorted(finals)
+    assert finals[v_values[-1]] >= finals[v_values[0]], (
+        "larger V must bank at least as much energy"
+    )

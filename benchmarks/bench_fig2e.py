@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 2(e) — user energy buffers over time per V.
+
+With grid-disconnected users (the paper scenario default) the buffers
+grow at the renewable harvest rate, matching the paper's linear Fig.
+2(e) curves; assert growth, bounds, and non-negativity.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2e
+
+
+def test_fig2e_user_energy_buffers(benchmark, show, bench_base, bench_v_backlog):
+    result = benchmark.pedantic(
+        run_fig2e,
+        kwargs={"base": bench_base, "v_values": bench_v_backlog},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    capacity = bench_base.num_users * bench_base.user_energy.battery_capacity_j
+    for series in result.series.values():
+        assert np.all(series >= 0)
+        assert series.max() <= capacity + 1e-6
+        # Buffers accumulate harvested energy over the horizon.
+        assert series[-1] >= series[0]

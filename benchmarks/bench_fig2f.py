@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 2(f) — energy cost of the four architectures.
+
+Asserts the paper's headline ordering: the proposed multi-hop +
+renewables system has the lowest time-averaged expected energy cost at
+every compared V.
+"""
+
+from repro.experiments import run_fig2f
+from repro.experiments.fig2f import ARCHITECTURES
+from repro.types import Architecture
+
+
+def test_fig2f_architecture_comparison(benchmark, show, bench_base, bench_v_compare):
+    result = benchmark.pedantic(
+        run_fig2f,
+        kwargs={"base": bench_base, "v_values": bench_v_compare},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    for v in bench_v_compare:
+        assert result.ordering_holds(v), f"proposed system not cheapest at V={v:g}"
+        assert result.steady_ordering_holds(v), (
+            f"proposed system not cheapest in steady state at V={v:g}"
+        )
+
+    # Renewables help the multi-hop system at every V.
+    for v in bench_v_compare:
+        ours = result.cost(Architecture.MULTI_HOP_RENEWABLE, v)
+        no_renewable = result.cost(Architecture.MULTI_HOP_NO_RENEWABLE, v)
+        assert ours <= no_renewable * 1.02
+
+    # Sanity: every cell ran the full horizon.
+    for (arch, v), run in result.results.items():
+        assert arch in ARCHITECTURES
+        assert run.num_slots == bench_base.num_slots

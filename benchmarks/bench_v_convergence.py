@@ -1,0 +1,24 @@
+"""Extension bench: the heuristic tracks the per-slot optimum.
+
+Measures the relative gap between the decomposition controller and the
+exact relaxed LP across a V sweep; the acceptance criterion is that
+the heuristic stays within 10 % of the optimum everywhere (measured
+runs land around 2-5 %).
+"""
+
+from repro.experiments import run_v_convergence
+
+
+def test_heuristic_tracks_relaxed_optimum(benchmark, show, bench_base, bench_v_sweep):
+    result = benchmark.pedantic(
+        run_v_convergence,
+        kwargs={"base": bench_base, "v_values": bench_v_sweep},
+        rounds=1,
+        iterations=1,
+    )
+    show(result.table)
+
+    assert result.worst_relative_gap < 0.10, (
+        f"heuristic strays {100 * result.worst_relative_gap:.1f}% from the "
+        "relaxed optimum"
+    )

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Grid-outage resilience: batteries carry the network through a blackout.
+
+Injects a 25-slot grid outage at both base stations mid-run (slots
+40-64) using ``ScriptedGridConnection``.  Because the controller's
+shifted energy queues bank energy up to the ``V * gamma_max`` threshold
+beforehand, the network rides through the blackout on batteries and
+renewables; the example reports the demand deficit with and without
+batteries to quantify the resilience benefit.
+"""
+
+import dataclasses
+
+from repro import SlotSimulator, paper_scenario
+from repro.analysis import format_table
+from repro.energy import ScriptedGridConnection
+
+OUTAGE = (40, 65)
+
+
+def run_with_outage(battery_scale: float):
+    """Run the paper scenario with a scripted BS blackout.
+
+    Args:
+        battery_scale: multiplier on base-station storage capacity
+            (1.0 = the default 3 kWh; 0.01 approximates "no battery").
+    """
+    base = paper_scenario(control_v=3e5, num_slots=100, seed=11)
+    bs_energy = dataclasses.replace(
+        base.bs_energy,
+        battery_capacity_j=base.bs_energy.battery_capacity_j * battery_scale,
+        charge_cap_j=min(
+            base.bs_energy.charge_cap_j,
+            base.bs_energy.battery_capacity_j * battery_scale / 2,
+        ),
+        discharge_cap_j=min(
+            base.bs_energy.discharge_cap_j,
+            base.bs_energy.battery_capacity_j * battery_scale / 2,
+        ),
+    )
+    params = dataclasses.replace(base, bs_energy=bs_energy)
+    simulator = SlotSimulator.integral(params)
+
+    # Failure injection: replace each base station's grid connection
+    # with a scripted one sharing the same caps.
+    for bs in simulator.model.bs_ids:
+        old = simulator.state.grids[bs]
+        simulator.state.grids[bs] = ScriptedGridConnection(
+            draw_cap_j=old.draw_cap_j,
+            connect_prob=old.connect_prob,
+            rng=simulator.rng.environment,
+            outages=[OUTAGE],
+        )
+    return simulator.run()
+
+
+def main() -> None:
+    rows = []
+    for label, scale in (("full battery (3 kWh)", 1.0), ("token battery (3 Wh)", 0.001)):
+        result = run_with_outage(scale)
+        deficits = result.metrics.series("deficit_j")
+        curtailed = result.metrics.series("curtailed_links")
+        outage_slice = slice(*OUTAGE)
+        rows.append(
+            (
+                label,
+                result.average_cost,
+                float(deficits[outage_slice].sum()),
+                float(curtailed[outage_slice].sum()),
+                float(result.metrics.series("delivered_pkts")[outage_slice].sum()),
+            )
+        )
+    print(
+        format_table(
+            [
+                "configuration",
+                "avg cost",
+                "outage deficit (J)",
+                "outage curtailments",
+                "outage delivered pkts",
+            ],
+            rows,
+            title=f"Blackout at base stations, slots [{OUTAGE[0]}, {OUTAGE[1]})",
+        )
+    )
+    print()
+    print(
+        "Reading: with real storage the controller has banked energy by\n"
+        "slot 40 and the blackout causes little to no deficit; with token\n"
+        "storage the base stations must shed load (curtailments/deficit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure at full scale and print the tables.
+
+This is the EXPERIMENTS.md data source: the paper's Section-VI
+scenario (2 BSs, 20 users, 100 one-minute slots) with the paper's V
+sweeps, plus the extension experiments (cell-edge, V-convergence).
+Run time is a few minutes.  Pass ``--export DIR`` to additionally
+write each figure's data as CSV.
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.config import cell_edge_scenario, paper_scenario
+from repro.experiments import (
+    export_figure,
+    run_cell_edge,
+    run_fig2a,
+    run_fig2b,
+    run_fig2c,
+    run_fig2d,
+    run_fig2e,
+    run_fig2f,
+    run_v_convergence,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--export", default=None, help="directory for per-figure CSVs"
+    )
+    args = parser.parse_args()
+
+    base = paper_scenario(num_slots=100, seed=2014)
+    edge = cell_edge_scenario(num_slots=100, seed=2014)
+
+    runs = (
+        ("fig2a", run_fig2a, base, {"v_values": tuple(k * 1e5 for k in range(1, 11))}),
+        ("fig2b", run_fig2b, base, {"v_values": tuple(k * 1e5 for k in range(1, 6))}),
+        ("fig2c", run_fig2c, base, {"v_values": tuple(k * 1e5 for k in range(1, 6))}),
+        ("fig2d", run_fig2d, base, {"v_values": tuple(k * 1e5 for k in range(1, 6))}),
+        ("fig2e", run_fig2e, base, {"v_values": tuple(k * 1e5 for k in range(1, 6))}),
+        ("fig2f", run_fig2f, base, {"v_values": (1e5, 3e5, 5e5)}),
+        ("cell_edge", run_cell_edge, edge, {"v_values": (1e5, 3e5)}),
+        ("v_convergence", run_v_convergence, base, {"v_values": (1e5, 3e5, 1e6)}),
+    )
+    for name, runner, scenario, kwargs in runs:
+        start = time.time()
+        result = runner(base=scenario, **kwargs)
+        elapsed = time.time() - start
+        print(f"===== {name} ({elapsed:.0f}s) =====")
+        print(result.table)
+        print()
+        if args.export is not None:
+            target = Path(args.export)
+            target.mkdir(parents=True, exist_ok=True)
+            export_figure(result, target / f"{name}.csv")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline, no wheel package).
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` in environments without the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analysis helpers: time averages, text tables, bound-gap analysis."""
+
+from repro.analysis.aggregate import (
+    mean_confidence_interval,
+    running_time_average,
+    time_average,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.convergence import (
+    empirical_gaps,
+    gap_series,
+    is_shrinking,
+    relative_gap_series,
+)
+from repro.analysis.replication import (
+    ReplicatedStatistic,
+    replicate,
+    replicate_summary,
+)
+from repro.analysis.report import build_report
+
+__all__ = [
+    "mean_confidence_interval",
+    "running_time_average",
+    "time_average",
+    "format_table",
+    "empirical_gaps",
+    "gap_series",
+    "is_shrinking",
+    "relative_gap_series",
+    "ReplicatedStatistic",
+    "replicate",
+    "replicate_summary",
+    "build_report",
+]

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's figures plot;
+``format_table`` keeps that output aligned and diff-friendly without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+Cell = Union[str, float, int]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, int):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{cell:.{precision}e}"
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        headers: column names.
+        rows: row cells; each row must match ``headers`` in length.
+        precision: significant digits for float cells.
+        title: optional heading line.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        rendered.append([_render(cell, precision) for cell in row])
+
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered[1:]:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Baseline architectures compared in Fig. 2(f)."""
+
+from repro.baselines.architectures import (
+    architecture_label,
+    architecture_params,
+    run_architecture,
+)
+
+__all__ = [
+    "architecture_label",
+    "architecture_params",
+    "run_architecture",
+]

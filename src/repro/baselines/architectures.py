@@ -1,0 +1,75 @@
+"""The four network architectures of the Fig. 2(f) comparison.
+
+All four run the same drift-plus-penalty controller; the architecture
+only changes the substrate:
+
+* ``MULTI_HOP_RENEWABLE`` — the proposed system, unchanged.
+* ``MULTI_HOP_NO_RENEWABLE`` — renewables removed.  Users must then
+  power relaying from the grid, so they are kept permanently
+  grid-connected (the paper's baseline gives no detail; a relay with
+  neither renewables nor grid would simply die, which would make the
+  comparison about coverage rather than energy cost).
+* ``ONE_HOP_RENEWABLE`` — routing restricted to direct base-station ->
+  user links (users never relay), renewables kept.
+* ``ONE_HOP_NO_RENEWABLE`` — both restrictions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.parameters import ScenarioParameters
+from repro.sim.engine import run_simulation
+from repro.sim.results import SimulationResult
+from repro.types import Architecture
+
+_LABELS = {
+    Architecture.MULTI_HOP_RENEWABLE: "Our system (multi-hop + renewables)",
+    Architecture.MULTI_HOP_NO_RENEWABLE: "Multi-hop w/o renewable energy",
+    Architecture.ONE_HOP_RENEWABLE: "One-hop w/ renewable energy",
+    Architecture.ONE_HOP_NO_RENEWABLE: "One-hop w/o renewable energy",
+}
+
+
+def architecture_label(architecture: Architecture) -> str:
+    """Human-readable label matching the paper's legend."""
+    return _LABELS[architecture]
+
+
+def architecture_params(
+    base: ScenarioParameters, architecture: Architecture
+) -> ScenarioParameters:
+    """Derive the scenario parameters for one architecture.
+
+    The returned scenario shares the base seed, so every architecture
+    sees the identical random environment (paired comparison).
+    """
+    multi_hop = architecture in (
+        Architecture.MULTI_HOP_RENEWABLE,
+        Architecture.MULTI_HOP_NO_RENEWABLE,
+    )
+    renewables = architecture in (
+        Architecture.MULTI_HOP_RENEWABLE,
+        Architecture.ONE_HOP_RENEWABLE,
+    )
+    params = dataclasses.replace(
+        base,
+        multi_hop_enabled=multi_hop,
+        renewables_enabled=renewables,
+    )
+    if not renewables and multi_hop:
+        # Grid-connect the users so relaying stays possible (module doc).
+        params = dataclasses.replace(
+            params,
+            user_energy=dataclasses.replace(
+                base.user_energy, grid_connect_prob=1.0
+            ),
+        )
+    return params
+
+
+def run_architecture(
+    base: ScenarioParameters, architecture: Architecture
+) -> SimulationResult:
+    """Run one architecture on the shared environment and return it."""
+    return run_simulation(architecture_params(base, architecture))

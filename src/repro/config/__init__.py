@@ -1,0 +1,29 @@
+"""Scenario configuration: parameter dataclasses, factories, validation."""
+
+from repro.config.parameters import (
+    EnergyParameters,
+    NodeParameters,
+    ScenarioParameters,
+    SessionParameters,
+    SpectrumParameters,
+)
+from repro.config.scenarios import (
+    cell_edge_scenario,
+    paper_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from repro.config.validation import validate_parameters
+
+__all__ = [
+    "EnergyParameters",
+    "NodeParameters",
+    "ScenarioParameters",
+    "SessionParameters",
+    "SpectrumParameters",
+    "cell_edge_scenario",
+    "paper_scenario",
+    "small_scenario",
+    "tiny_scenario",
+    "validate_parameters",
+]

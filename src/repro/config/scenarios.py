@@ -1,0 +1,110 @@
+"""Scenario factories.
+
+``paper_scenario`` reproduces the Section-VI setup of the paper;
+``small_scenario`` and ``tiny_scenario`` are reduced-scale variants for
+tests and benchmarks (same structure, fewer nodes/slots).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.config.parameters import ScenarioParameters, SessionParameters
+from repro.types import DestinationStrategy, Point
+
+
+def paper_scenario(
+    control_v: float = 1e5,
+    num_slots: int = 100,
+    seed: int = 2014,
+    **overrides: object,
+) -> ScenarioParameters:
+    """The evaluation scenario of Section VI.
+
+    2000 m x 2000 m area, base stations at (500, 500) and (1500, 500),
+    20 uniformly random users, 1 cellular + 4 random bands, 100 Kbps
+    sessions, one-minute slots, T = 100.
+
+    Args:
+        control_v: the Lyapunov weight ``V``.
+        num_slots: horizon ``T`` in slots.
+        seed: RNG seed for placement and all stochastic processes.
+        **overrides: any further ``ScenarioParameters`` field overrides.
+    """
+    params = ScenarioParameters(
+        control_v=control_v, num_slots=num_slots, seed=seed
+    )
+    if overrides:
+        params = dataclasses.replace(params, **overrides)  # type: ignore[arg-type]
+    return params
+
+
+def small_scenario(
+    control_v: float = 1e5,
+    num_slots: int = 30,
+    num_users: int = 8,
+    seed: int = 7,
+    **overrides: object,
+) -> ScenarioParameters:
+    """A reduced scenario for benchmarks: 2 BSs, 8 users, 30 slots."""
+    params = ScenarioParameters(
+        control_v=control_v,
+        num_slots=num_slots,
+        num_users=num_users,
+        seed=seed,
+        sessions=SessionParameters(num_sessions=3),
+        neighbor_limit=4,
+    )
+    if overrides:
+        params = dataclasses.replace(params, **overrides)  # type: ignore[arg-type]
+    return params
+
+
+def tiny_scenario(
+    control_v: float = 1e4,
+    num_slots: int = 10,
+    seed: int = 3,
+    num_users: int = 4,
+    num_sessions: int = 2,
+    area_side_m: float = 1000.0,
+    neighbor_limit: Optional[int] = 3,
+    **overrides: object,
+) -> ScenarioParameters:
+    """A minimal scenario for unit tests: 1 BS, 4 users, 10 slots."""
+    params = ScenarioParameters(
+        control_v=control_v,
+        num_slots=num_slots,
+        num_users=num_users,
+        seed=seed,
+        area_side_m=area_side_m,
+        base_station_positions=(Point(area_side_m / 2, area_side_m / 2),),
+        sessions=SessionParameters(num_sessions=num_sessions),
+        neighbor_limit=neighbor_limit,
+    )
+    if overrides:
+        params = dataclasses.replace(params, **overrides)  # type: ignore[arg-type]
+    return params
+
+
+def cell_edge_scenario(
+    control_v: float = 1e5,
+    num_slots: int = 100,
+    seed: int = 2014,
+    **overrides: object,
+) -> ScenarioParameters:
+    """The paper scenario with every session terminating at the cell edge.
+
+    Destinations are the users farthest from every base station, which
+    is the regime where multi-hop relaying saves the most transmit
+    energy over direct one-hop service — the stress case behind the
+    paper's Fig. 2(f) claim.
+    """
+    base = paper_scenario(control_v=control_v, num_slots=num_slots, seed=seed)
+    sessions = dataclasses.replace(
+        base.sessions, destination_strategy=DestinationStrategy.CELL_EDGE
+    )
+    params = dataclasses.replace(base, sessions=sessions)
+    if overrides:
+        params = dataclasses.replace(params, **overrides)  # type: ignore[arg-type]
+    return params

@@ -1,0 +1,67 @@
+"""Physical and unit-conversion constants shared across the library.
+
+All internal computation uses SI units: watts, joules, hertz, seconds,
+bits.  The ICDCS'14 paper states several parameters in kWh and minutes;
+these helpers convert at the configuration boundary so the rest of the
+code never mixes unit systems.
+"""
+
+from __future__ import annotations
+
+#: Seconds in one minute (the paper's slot duration is one minute).
+SECONDS_PER_MINUTE: float = 60.0
+
+#: Seconds in one hour, used for Wh/kWh conversions.
+SECONDS_PER_HOUR: float = 3600.0
+
+#: Joules in one watt-hour.
+JOULES_PER_WH: float = 3600.0
+
+#: Joules in one kilowatt-hour.
+JOULES_PER_KWH: float = 3.6e6
+
+#: Default thermal-noise power spectral density used by the paper (W/Hz).
+PAPER_NOISE_DENSITY_W_PER_HZ: float = 1e-20
+
+#: Default antenna/wavelength constant ``C`` in the propagation model.
+PAPER_PROPAGATION_CONSTANT: float = 62.5
+
+#: Default path-loss exponent ``gamma`` used by the paper.
+PAPER_PATH_LOSS_EXPONENT: float = 4.0
+
+#: Default SINR decoding threshold ``Gamma`` used by the paper.
+PAPER_SINR_THRESHOLD: float = 1.0
+
+#: A tolerance for floating-point feasibility checks throughout the
+#: library (queue non-negativity, battery bounds, LP round-off, ...).
+FEASIBILITY_EPS: float = 1e-9
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Convert kilowatt-hours to joules."""
+    return kwh * JOULES_PER_KWH
+
+
+def wh_to_joules(wh: float) -> float:
+    """Convert watt-hours to joules."""
+    return wh * JOULES_PER_WH
+
+
+def joules_to_kwh(joules: float) -> float:
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def joules_to_wh(joules: float) -> float:
+    """Convert joules to watt-hours."""
+    return joules / JOULES_PER_WH
+
+
+def watts_over_slot_to_joules(watts: float, slot_seconds: float) -> float:
+    """Energy in joules delivered by a constant power over one slot."""
+    return watts * slot_seconds
+
+
+def kbps_to_bits_per_slot(kbps: float, slot_seconds: float) -> float:
+    """Convert a rate in kilobits/second to bits per slot."""
+    return kbps * 1e3 * slot_seconds

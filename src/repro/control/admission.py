@@ -1,0 +1,60 @@
+"""S2 — resource allocation (Section IV-C-2).
+
+Minimises ``Psi-hat_2 = sum_s sum_b (Q_b^s - lambda V) k_s 1[b = s_s]``
+subject to the single-source constraint (19).  The paper's rule: pick
+the base station with the smallest backlog ``Q_b^s`` as the session's
+source (ties broken uniformly at random), then admit
+
+    k_s(t) = K_max  if  Q_{s_s}^s(t) - lambda V < 0,   else 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.control.decisions import AdmissionDecision
+from repro.model import NetworkModel
+from repro.types import NodeId, SessionId
+
+#: Signature for reading a data-queue backlog ``Q_i^s(t)``.
+BacklogFn = Callable[[NodeId, SessionId], float]
+
+
+class ResourceAllocator:
+    """The S2 subproblem solver."""
+
+    def __init__(self, model: NetworkModel, rng: np.random.Generator) -> None:
+        self._model = model
+        self._rng = rng
+        self._threshold = model.params.admission_lambda * model.params.control_v
+
+    @property
+    def admission_threshold(self) -> float:
+        """The backlog threshold ``lambda * V``."""
+        return self._threshold
+
+    def allocate(self, backlog: BacklogFn) -> AdmissionDecision:
+        """Solve S2 for one slot.
+
+        Args:
+            backlog: accessor for the current ``Q_i^s(t)``.
+
+        Returns:
+            Per-session source base stations and admitted packet counts.
+        """
+        sources: Dict[SessionId, NodeId] = {}
+        admitted: Dict[SessionId, int] = {}
+        bs_ids = self._model.bs_ids
+        for session in self._model.sessions:
+            backlogs = {bs: backlog(bs, session.session_id) for bs in bs_ids}
+            smallest = min(backlogs.values())
+            tied = [bs for bs, value in backlogs.items() if value == smallest]
+            source = tied[0] if len(tied) == 1 else int(self._rng.choice(tied))
+            sources[session.session_id] = source
+            if backlogs[source] - self._threshold < 0:
+                admitted[session.session_id] = session.k_max
+            else:
+                admitted[session.session_id] = 0
+        return AdmissionDecision(sources=sources, admitted=admitted)

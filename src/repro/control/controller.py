@@ -1,0 +1,268 @@
+"""The drift-plus-penalty controller orchestrating S1-S4 per slot.
+
+Order of operations within a slot (Section IV-C):
+
+1. **S1** link scheduling from the current ``H_ij(t)``;
+2. **energy-feasibility curtailment** (our documented extension): a
+   node whose slot demand would exceed its maximum supply — renewable
+   plus grid (if connected) plus battery discharge headroom — sheds
+   its scheduled transmissions in increasing ``H`` order; base demand
+   that still cannot be met is recorded as a deficit and shed;
+3. **S2** source selection and admission control;
+4. **S3** backpressure routing;
+5. **S4** energy management over the realised demands.
+
+The controller is pure decision logic: it reads the
+:class:`~repro.state.NetworkState` but never mutates it — the
+simulator applies the returned :class:`SlotDecision`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.control.admission import ResourceAllocator
+from repro.control.decisions import (
+    ScheduleDecision,
+    SlotDecision,
+    SlotObservation,
+)
+from repro.control.energy_manager import EnergyManager, NodeEnergyInputs
+from repro.control.router import BackpressureRouter, RouterMode
+from repro.control.scheduler import LinkScheduler
+from repro.core.lyapunov import LyapunovConstants
+from repro.energy.consumption import all_node_demands_j
+from repro.model import NetworkModel
+from repro.types import (
+    EnergySolverKind,
+    Link,
+    NodeId,
+    NodeKind,
+    SchedulerKind,
+    Transmission,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see state.py)
+    from repro.state import NetworkState
+
+#: Numerical slack for supply/demand comparisons (J).
+_ENERGY_TOL = 1e-6
+
+
+class DriftPlusPenaltyController:
+    """Online finite-queue-aware energy cost minimisation (P3)."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        constants: LyapunovConstants,
+        rng: np.random.Generator,
+        scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
+        energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
+        router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+    ) -> None:
+        self._model = model
+        self._constants = constants
+        self.scheduler = LinkScheduler(model, constants, kind=scheduler_kind)
+        self.allocator = ResourceAllocator(model, rng)
+        self.router = BackpressureRouter(
+            model, constants, rng, mode=router_mode
+        )
+        self.energy_manager = EnergyManager(model, kind=energy_solver)
+        self._allowed_links = self._compute_allowed_links()
+        #: Energy demand shed because no supply could cover it (J),
+        #: accumulated across slots for the metrics collector.
+        self.last_deficit_j: Dict[NodeId, float] = {}
+        #: Previous slot's total grid draw, seeding the marginal energy
+        #: price used by energy-aware scheduling.
+        self._last_grid_draw_j: float = 0.0
+
+    def _energy_prices(self, slot: int) -> Optional[Dict[NodeId, float]]:
+        """Per-node marginal energy prices for the S1 weights.
+
+        Base-station energy is priced at ``V * f'(P)`` under the
+        current slot's tariff, evaluated at the previous slot's draw
+        (a one-slot-lagged estimate of the S4 marginal price); user
+        energy is renewable-funded and free from the provider's
+        perspective, which is precisely the asymmetry that makes
+        relaying through users worthwhile.
+        """
+        if not self._model.params.energy_aware_scheduling:
+            return None
+        marginal = self._model.cost_at(slot).derivative(self._last_grid_draw_j)
+        price = self._model.params.control_v * marginal
+        bs_set = set(self._model.bs_ids)
+        return {
+            node: (price if node in bs_set else 0.0)
+            for node in range(self._model.num_nodes)
+        }
+
+    def _compute_allowed_links(self) -> Optional[Dict[Link, bool]]:
+        """Link filter implementing the one-hop architectures.
+
+        Multi-hop: all candidate links.  One-hop: only direct base
+        station -> user links (users never relay).
+        """
+        if self._model.params.multi_hop_enabled:
+            return None
+        bs_set = set(self._model.bs_ids)
+        return {
+            link: (link[0] in bs_set and link[1] not in bs_set)
+            for link in self._model.topology.candidate_links
+        }
+
+    # ------------------------------------------------------------------
+    # Energy-feasibility curtailment
+    # ------------------------------------------------------------------
+
+    def _max_supply_j(
+        self, node: NodeId, observation: SlotObservation, state: NetworkState
+    ) -> float:
+        """Most energy ``node`` can spend this slot."""
+        grid = state.grids[node]
+        grid_j = grid.draw_cap_j if observation.grid_connected[node] else 0.0
+        return (
+            observation.renewable_j[node]
+            + grid_j
+            + state.batteries[node].max_deliverable_j()
+        )
+
+    def _curtail(
+        self,
+        schedule: ScheduleDecision,
+        observation: SlotObservation,
+        state: NetworkState,
+        h_backlogs: Dict[Link, float],
+    ) -> Dict[NodeId, float]:
+        """Shed transmissions until every node's demand is supplied.
+
+        Mutates ``schedule`` in place (removing transmissions, reducing
+        link service, recording the drops) and returns the per-node
+        demands after curtailment, with unservable *base* demand
+        (constant + idle energy) clamped off and recorded in
+        ``last_deficit_j``.
+        """
+        params = self._model.params
+        node_params = {n.node_id: n.radio for n in self._model.nodes}
+        supply = {
+            n: self._max_supply_j(n, observation, state)
+            for n in range(self._model.num_nodes)
+        }
+        self.last_deficit_j = {}
+
+        while True:
+            demands = all_node_demands_j(
+                node_params, schedule.transmissions, params.slot_seconds
+            )
+            overloaded = [
+                n for n, demand in demands.items()
+                if demand > supply[n] + _ENERGY_TOL
+            ]
+            if not overloaded:
+                return demands
+
+            node = overloaded[0]
+            involved = [
+                t for t in schedule.transmissions if node in (t.tx, t.rx)
+            ]
+            if not involved:
+                # Base demand alone exceeds supply (e.g. a disconnected
+                # user with an empty battery on a cloudy slot): record
+                # the deficit and clamp the demand to what exists.
+                deficit = demands[node] - supply[node]
+                self.last_deficit_j[node] = (
+                    self.last_deficit_j.get(node, 0.0) + deficit
+                )
+                supply[node] = demands[node]
+                continue
+
+            victim = min(
+                involved, key=lambda t: h_backlogs.get(t.link, 0.0)
+            )
+            self._remove_transmission(schedule, victim)
+
+    @staticmethod
+    def _remove_transmission(
+        schedule: ScheduleDecision, victim: Transmission
+    ) -> None:
+        """Drop one transmission from the schedule, fixing service."""
+        schedule.transmissions.remove(victim)
+        schedule.dropped.append(victim.link_band)
+        remaining = sum(
+            1 for t in schedule.transmissions if t.link == victim.link
+        )
+        if remaining == 0:
+            schedule.link_service_pkts.pop(victim.link, None)
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def decide(
+        self, observation: SlotObservation, state: NetworkState
+    ) -> SlotDecision:
+        """Solve one slot of the online problem P3."""
+        h_backlogs = state.h_backlogs()
+
+        forbidden = None
+        if self._allowed_links is not None:
+            forbidden = [
+                link for link, ok in self._allowed_links.items() if not ok
+            ]
+        schedule = self.scheduler.schedule(
+            observation,
+            h_backlogs,
+            forbidden_links=forbidden,
+            energy_prices=self._energy_prices(observation.slot),
+        )
+        curtailed_before = len(schedule.dropped)
+        demands = self._curtail(schedule, observation, state, h_backlogs)
+        curtailed = schedule.dropped[curtailed_before:]
+
+        admission = self.allocator.allocate(state.backlog)
+        routing = self.router.route(
+            observation,
+            schedule,
+            admission,
+            state.backlog,
+            h_backlogs,
+            allowed_links=self._allowed_links,
+        )
+
+        z_values = state.z_values()
+        inputs: List[NodeEnergyInputs] = []
+        bs_set: Set[NodeId] = set(self._model.bs_ids)
+        for node_obj in self._model.nodes:
+            node = node_obj.node_id
+            battery = state.batteries[node]
+            connected = observation.grid_connected[node]
+            deficit = self.last_deficit_j.get(node, 0.0)
+            inputs.append(
+                NodeEnergyInputs(
+                    node=node,
+                    is_base_station=node in bs_set,
+                    demand_j=max(0.0, demands[node] - deficit),
+                    renewable_j=observation.renewable_j[node],
+                    grid_connected=connected,
+                    grid_cap_j=state.grids[node].draw_cap_j,
+                    charge_cap_j=battery.max_charge_j(),
+                    discharge_cap_j=battery.max_deliverable_j(),
+                    z=z_values[node],
+                    charge_efficiency=battery.charge_efficiency,
+                    discharge_efficiency=battery.discharge_efficiency,
+                )
+            )
+        energy = self.energy_manager.manage(
+            inputs, cost=self._model.cost_at(observation.slot)
+        )
+        self._last_grid_draw_j = energy.bs_grid_draw_j
+
+        return SlotDecision(
+            schedule=schedule,
+            admission=admission,
+            routing=routing,
+            energy=energy,
+            curtailed=list(curtailed),
+        )

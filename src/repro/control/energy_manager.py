@@ -1,0 +1,663 @@
+"""S4 — energy management (Section IV-C-4).
+
+Minimises ``Psi-hat_4 = sum_i z_i (c_i - d_i) + V f(P)`` subject to the
+energy constraints (9)-(14), where ``P = sum_{b in BS} (g_b + c^g_b)``
+is the total base-station grid draw.  Three solvers:
+
+* ``PRICE_DECOMPOSITION`` (default) — exact for the paper's strictly
+  convex quadratic ``f``: nodes respond optimally to a marginal grid
+  price ``mu``; bisection finds the fixed point ``mu = f'(P(mu))``;
+  a marginal-node repair step handles the staircase discontinuity of
+  ``P(mu)`` so interior optima (partial charging) are recovered.
+* ``SLSQP`` — scipy general-purpose NLP over all node variables,
+  used as a cross-check in the test suite.
+* ``GRID_ONLY`` — a naive baseline: renewables serve demand, the grid
+  covers the rest, the battery is never used.
+
+Deviation from the paper noted in DESIGN.md: Eq. (3) forces the
+renewable output to be fully consumed (``R = r + c^r``), which is
+infeasible whenever the battery is full and demand is low; we allow
+spilling (``r + c^r <= R``) and report the spilled energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.constants import FEASIBILITY_EPS
+from repro.control.decisions import EnergyManagementDecision, NodeEnergyAllocation
+from repro.energy.cost import QuadraticCost
+from repro.exceptions import InfeasibleError, SolverError
+from repro.model import NetworkModel
+from repro.solvers.bisection import bisect_root
+from repro.types import EnergySolverKind, NodeId
+
+#: Bisection bracket tolerance: must be far below the +/- probe offset
+#: used by the marginal repair step, or both probes can land on the
+#: same side of a response discontinuity and miss the interior optimum.
+_PRICE_BISECT_TOL = 1e-10
+#: Relative +/- probe offset around the fixed-point price.
+_PRICE_PROBE_REL = 1e-3
+_ENERGY_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class NodeEnergyInputs:
+    """Everything S4 needs to know about one node for one slot.
+
+    All energies in joules.  ``charge_cap_j``/``discharge_cap_j`` are
+    the *effective* caps — constraints (11)/(12) already intersected
+    with the battery's current headroom and level.  Conventions with
+    storage losses: ``charge`` amounts are *input* energy (the battery
+    stores ``eta_c`` of them); ``discharge`` amounts are *delivered*
+    energy (the battery drains ``1/eta_d`` of them), so
+    ``discharge_cap_j`` is the deliverable cap.
+    """
+
+    node: NodeId
+    is_base_station: bool
+    demand_j: float
+    renewable_j: float
+    grid_connected: bool
+    grid_cap_j: float
+    charge_cap_j: float
+    discharge_cap_j: float
+    z: float
+    charge_efficiency: float = 1.0
+    discharge_efficiency: float = 1.0
+
+    @property
+    def usable_grid_j(self) -> float:
+        """Grid supply available this slot (0 when disconnected)."""
+        return self.grid_cap_j if self.grid_connected else 0.0
+
+    @property
+    def max_supply_j(self) -> float:
+        """Most demand this node could possibly serve this slot."""
+        return self.renewable_j + self.usable_grid_j + self.discharge_cap_j
+
+
+def _serve_mode_allocation(
+    inputs: NodeEnergyInputs, grid_price: float
+) -> Tuple[NodeEnergyAllocation, float]:
+    """Discharge-mode optimum: serve demand, never charge.
+
+    Fills demand from the three sources in ascending unit cost
+    (renewable: 0, discharge: ``-z / eta_d`` per delivered joule, grid:
+    ``grid_price``) and returns the allocation with its ``Psi-hat_4``
+    contribution (minus the ``V f(P)`` coupling term).
+    """
+    sources = sorted(
+        [
+            ("r", 0.0, min(inputs.renewable_j, inputs.demand_j)),
+            (
+                "d",
+                -inputs.z / inputs.discharge_efficiency,
+                inputs.discharge_cap_j,
+            ),
+            ("g", grid_price, inputs.usable_grid_j),
+        ],
+        key=lambda item: item[1],
+    )
+    remaining = inputs.demand_j
+    amounts = {"r": 0.0, "d": 0.0, "g": 0.0}
+    objective = 0.0
+    for name, unit_cost, cap in sources:
+        take = min(remaining, cap)
+        if take > 0:
+            amounts[name] = take
+            objective += unit_cost * take
+            remaining -= take
+    if remaining > _ENERGY_TOL:
+        raise InfeasibleError(
+            f"node {inputs.node}: demand {inputs.demand_j} J exceeds max "
+            f"supply {inputs.max_supply_j} J (curtailment missing upstream)"
+        )
+    allocation = NodeEnergyAllocation(
+        renewable_serve_j=amounts["r"],
+        grid_serve_j=amounts["g"],
+        discharge_j=amounts["d"],
+        spill_j=inputs.renewable_j - amounts["r"],
+    )
+    return allocation, objective
+
+
+def _charge_mode_allocation(
+    inputs: NodeEnergyInputs, grid_price: float
+) -> Tuple[NodeEnergyAllocation, float] | None:
+    """Charge-mode optimum: serve demand without discharging, charge.
+
+    The only free variable after eliminating the balance equations is
+    ``rE`` (renewable energy serving demand); the objective is
+    piecewise linear in ``rE``, so evaluating it at every kink and
+    endpoint is exact.  Returns None when demand cannot be met without
+    discharging.
+    """
+    supply = inputs.renewable_j + inputs.usable_grid_j
+    if inputs.demand_j > supply + _ENERGY_TOL:
+        return None
+
+    lo = max(0.0, inputs.demand_j - inputs.usable_grid_j)
+    hi = min(inputs.renewable_j, inputs.demand_j)
+    if lo > hi + _ENERGY_TOL:
+        return None
+    hi = max(lo, hi)
+
+    z = inputs.z
+    ccap = inputs.charge_cap_j
+    eta_c = inputs.charge_efficiency
+    want_grid_charge = inputs.grid_connected and (z * eta_c + grid_price) < 0.0
+
+    def evaluate(r_serve: float) -> Tuple[float, NodeEnergyAllocation]:
+        g_serve = inputs.demand_j - r_serve
+        r_charge = min(inputs.renewable_j - r_serve, ccap) if z < 0 else 0.0
+        r_charge = max(0.0, r_charge)
+        g_charge = 0.0
+        if want_grid_charge:
+            g_charge = max(
+                0.0,
+                min(inputs.usable_grid_j - g_serve, ccap - r_charge),
+            )
+        objective = (
+            grid_price * g_serve
+            + z * eta_c * r_charge
+            + (z * eta_c + grid_price) * g_charge
+        )
+        allocation = NodeEnergyAllocation(
+            renewable_serve_j=r_serve,
+            renewable_charge_j=r_charge,
+            grid_serve_j=g_serve,
+            grid_charge_j=g_charge,
+            spill_j=inputs.renewable_j - r_serve - r_charge,
+        )
+        return objective, allocation
+
+    candidates = {lo, hi}
+    for kink in (
+        inputs.renewable_j - ccap,  # renewable-charge cap switch
+        inputs.demand_j - inputs.usable_grid_j + ccap,  # grid-charge room
+    ):
+        if lo < kink < hi:
+            candidates.add(kink)
+
+    best = min((evaluate(r) for r in candidates), key=lambda pair: pair[0])
+    return best[1], best[0]
+
+
+def _quadratic_charge_mode(
+    inputs: NodeEnergyInputs, grid_price: float
+) -> Tuple[NodeEnergyAllocation, float] | None:
+    """Exact-drift charge mode.
+
+    Minimises ``z (eta_c c) + (eta_c c)^2 / 2 + price * grid`` over the
+    charge *input* ``c``.  With the quadratic self-term the objective
+    is convex piecewise quadratic in ``c`` with one kink (where the
+    grid starts funding the charge), so evaluating the clamped
+    stationary points and the kink is exact.  Returns None when demand
+    cannot be met without discharging.
+    """
+    demand, renewable = inputs.demand_j, inputs.renewable_j
+    grid = inputs.usable_grid_j
+    if demand > renewable + grid + _ENERGY_TOL:
+        return None
+    z = inputs.z
+    eta_c = inputs.charge_efficiency
+    hi = min(inputs.charge_cap_j, renewable + grid - demand)
+    hi = max(hi, 0.0)
+
+    candidates = {0.0, hi}
+    kink = renewable - demand  # beyond this, charging draws the grid
+    stationary_free = -z / eta_c
+    stationary_grid = -z / eta_c - grid_price / (eta_c * eta_c)
+    for point in (stationary_free, stationary_grid, kink):
+        if 0.0 < point < hi:
+            candidates.add(point)
+
+    def evaluate(c: float) -> Tuple[float, NodeEnergyAllocation]:
+        grid_draw = max(0.0, demand + c - renewable)
+        stored = eta_c * c
+        objective = z * stored + 0.5 * stored * stored + grid_price * grid_draw
+        r_serve = min(renewable, demand)
+        g_serve = demand - r_serve
+        r_charge = min(renewable - r_serve, c)
+        g_charge = c - r_charge
+        allocation = NodeEnergyAllocation(
+            renewable_serve_j=r_serve,
+            renewable_charge_j=r_charge,
+            grid_serve_j=g_serve,
+            grid_charge_j=g_charge,
+            spill_j=renewable - r_serve - r_charge,
+        )
+        return objective, allocation
+
+    best = min((evaluate(c) for c in candidates), key=lambda pair: pair[0])
+    return best[1], best[0]
+
+
+def _quadratic_serve_mode(
+    inputs: NodeEnergyInputs, grid_price: float
+) -> Tuple[NodeEnergyAllocation, float]:
+    """Exact-drift discharge mode.
+
+    Minimises ``-z (d/eta_d) + (d/eta_d)^2 / 2 + price * grid`` over
+    the *delivered* discharge ``d`` (the battery drains ``d / eta_d``).
+    Convex quadratic in ``d`` on the feasible interval, so the clamped
+    stationary point is exact.
+    """
+    demand, renewable = inputs.demand_j, inputs.renewable_j
+    grid = inputs.usable_grid_j
+    z = inputs.z
+    eta_d = inputs.discharge_efficiency
+    r_serve = min(renewable, demand)
+    residual = demand - r_serve
+
+    d_min = max(0.0, residual - grid)
+    d_max = min(inputs.discharge_cap_j, residual)
+    if d_min > d_max + _ENERGY_TOL:
+        raise InfeasibleError(
+            f"node {inputs.node}: demand {demand} J exceeds max supply "
+            f"{inputs.max_supply_j} J (curtailment missing upstream)"
+        )
+    d_max = max(d_min, d_max)
+
+    candidates = {d_min, d_max}
+    stationary = eta_d * z + eta_d * eta_d * grid_price
+    if d_min < stationary < d_max:
+        candidates.add(stationary)
+
+    def evaluate(d: float) -> Tuple[float, NodeEnergyAllocation]:
+        g_serve = residual - d
+        drained = d / eta_d
+        objective = -z * drained + 0.5 * drained * drained + grid_price * g_serve
+        allocation = NodeEnergyAllocation(
+            renewable_serve_j=r_serve,
+            grid_serve_j=g_serve,
+            discharge_j=d,
+            spill_j=renewable - r_serve,
+        )
+        return objective, allocation
+
+    best = min((evaluate(d) for d in candidates), key=lambda pair: pair[0])
+    return best[1], best[0]
+
+
+def _node_response(
+    inputs: NodeEnergyInputs,
+    mu: float,
+    control_v: float,
+    exact_drift: bool = False,
+) -> Tuple[NodeEnergyAllocation, float]:
+    """Optimal allocation of one node facing marginal grid price ``mu``.
+
+    Users never contribute to ``P(t)`` (the provider only pays for
+    base-station draws), so their effective grid price is zero.
+    """
+    grid_price = control_v * mu if inputs.is_base_station else 0.0
+    if exact_drift:
+        serve = _quadratic_serve_mode(inputs, grid_price)
+        charge = _quadratic_charge_mode(inputs, grid_price)
+    else:
+        serve = _serve_mode_allocation(inputs, grid_price)
+        charge = _charge_mode_allocation(inputs, grid_price)
+    if charge is None or serve[1] <= charge[1]:
+        return serve
+    return charge
+
+
+def _allocation_given_grid(
+    inputs: NodeEnergyInputs, grid_draw_j: float, exact_drift: bool = False
+) -> NodeEnergyAllocation:
+    """Node-optimal allocation with total grid draw pinned (``z < 0``).
+
+    Used by the marginal-node repair step: for a node with ``z < 0``
+    the optimum given a grid budget ``p`` maximises charging — demand
+    is covered by renewable + grid first (discharging only to fill any
+    gap), and all leftovers charge the battery up to its cap (in
+    exact-drift mode additionally capped at ``-z``, where the quadratic
+    drift term turns charging unprofitable).
+    """
+    p = min(grid_draw_j, inputs.usable_grid_j)
+    shortfall = max(0.0, inputs.demand_j - inputs.renewable_j - p)
+    discharge = min(shortfall, inputs.discharge_cap_j)
+    if shortfall > discharge + _ENERGY_TOL:
+        raise InfeasibleError(
+            f"node {inputs.node}: grid budget {p} J cannot meet demand"
+        )
+    r_serve = min(inputs.renewable_j, inputs.demand_j - discharge)
+    g_serve = inputs.demand_j - discharge - r_serve
+    headroom = inputs.charge_cap_j if discharge <= _ENERGY_TOL else 0.0
+    if exact_drift:
+        # The quadratic drift makes charging unprofitable past a
+        # stored level of -z, i.e. an input of -z / eta_c.
+        headroom = min(
+            headroom, max(0.0, -inputs.z) / inputs.charge_efficiency
+        )
+    r_charge = min(inputs.renewable_j - r_serve, headroom)
+    g_charge = min(p - g_serve, headroom - r_charge)
+    r_charge = max(0.0, r_charge)
+    g_charge = max(0.0, g_charge)
+    return NodeEnergyAllocation(
+        renewable_serve_j=r_serve,
+        renewable_charge_j=r_charge,
+        grid_serve_j=g_serve,
+        grid_charge_j=g_charge,
+        discharge_j=discharge,
+        spill_j=inputs.renewable_j - r_serve - r_charge,
+    )
+
+
+class EnergyManager:
+    """The S4 subproblem solver."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        kind: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
+        exact_drift: Optional[bool] = None,
+    ) -> None:
+        self._model = model
+        self._kind = kind
+        self._v = model.params.control_v
+        if exact_drift is None:
+            exact_drift = model.params.exact_battery_drift
+        self._exact_drift = exact_drift
+
+    @property
+    def exact_drift(self) -> bool:
+        """Whether S4 minimises the exact quadratic battery drift."""
+        return self._exact_drift
+
+    @property
+    def kind(self) -> EnergySolverKind:
+        """The configured solver."""
+        return self._kind
+
+    def manage(
+        self,
+        inputs: List[NodeEnergyInputs],
+        cost: Optional[QuadraticCost] = None,
+    ) -> EnergyManagementDecision:
+        """Solve S4 for one slot over all nodes.
+
+        Args:
+            inputs: per-node demand/supply state.
+            cost: the slot's generation cost function; defaults to the
+                model's flat tariff (time-of-use callers pass
+                ``model.cost_at(slot)``).
+        """
+        if cost is None:
+            cost = self._model.cost
+        for node_inputs in inputs:
+            if node_inputs.demand_j > node_inputs.max_supply_j + _ENERGY_TOL:
+                raise InfeasibleError(
+                    f"node {node_inputs.node}: demand {node_inputs.demand_j} J "
+                    f"exceeds max supply {node_inputs.max_supply_j} J; the "
+                    "controller's curtailment pass must run first"
+                )
+        if self._kind is EnergySolverKind.PRICE_DECOMPOSITION:
+            allocations = self._solve_price_decomposition(inputs, cost)
+        elif self._kind is EnergySolverKind.SLSQP:
+            allocations = self._solve_slsqp(inputs, cost)
+        else:
+            allocations = self._solve_grid_only(inputs)
+        return self._assemble(allocations, inputs, cost)
+
+    def _assemble(
+        self,
+        allocations: Dict[NodeId, NodeEnergyAllocation],
+        inputs: List[NodeEnergyInputs],
+        cost: QuadraticCost,
+    ) -> EnergyManagementDecision:
+        bs_set = {n.node for n in inputs if n.is_base_station}
+        total_draw = sum(
+            alloc.grid_draw_j for node, alloc in allocations.items() if node in bs_set
+        )
+        return EnergyManagementDecision(
+            allocations=allocations,
+            bs_grid_draw_j=total_draw,
+            cost=cost.value(total_draw),
+        )
+
+    # ------------------------------------------------------------------
+    # Price decomposition
+    # ------------------------------------------------------------------
+
+    def _solve_price_decomposition(
+        self, inputs: List[NodeEnergyInputs], cost: QuadraticCost
+    ) -> Dict[NodeId, NodeEnergyAllocation]:
+        users = [n for n in inputs if not n.is_base_station]
+        stations = [n for n in inputs if n.is_base_station]
+
+        allocations: Dict[NodeId, NodeEnergyAllocation] = {}
+        for node_inputs in users:
+            allocations[node_inputs.node], _ = _node_response(
+                node_inputs, 0.0, self._v, self._exact_drift
+            )
+        if not stations:
+            return allocations
+
+        def bs_total_draw(mu: float) -> float:
+            return sum(
+                _node_response(n, mu, self._v, self._exact_drift)[0].grid_draw_j
+                for n in stations
+            )
+
+        cap = sum(n.usable_grid_j for n in stations)
+        mu_lo = cost.derivative(0.0)
+        mu_hi = cost.derivative(cap) + max(1.0, cost.derivative(cap)) * 1e-6
+        mu_star = bisect_root(
+            lambda mu: mu - cost.derivative(bs_total_draw(mu)),
+            mu_lo,
+            mu_hi,
+            tol=_PRICE_BISECT_TOL,
+        )
+
+        eps = max(abs(mu_star), mu_lo, 1e-9) * _PRICE_PROBE_REL
+        high_side = {
+            n.node: _node_response(n, mu_star + eps, self._v, self._exact_drift)[0]
+            for n in stations
+        }
+        low_side = {
+            n.node: _node_response(n, mu_star - eps, self._v, self._exact_drift)[0]
+            for n in stations
+        }
+        p_plus = sum(a.grid_draw_j for a in high_side.values())
+        p_minus = sum(a.grid_draw_j for a in low_side.values())
+
+        if cost.a > 0:
+            p_target = min(max(cost.inverse_derivative(mu_star), p_plus), p_minus)
+        else:
+            p_target = p_plus
+
+        extra = p_target - p_plus
+        for node_inputs in stations:
+            allocations[node_inputs.node] = high_side[node_inputs.node]
+        if extra > _ENERGY_TOL:
+            # Marginal repair: nodes whose draw differs across mu* can
+            # absorb the interior allocation (z < 0 handled exactly;
+            # the z >= 0 corner cannot occur with the paper's huge
+            # V*gamma_max shift, and falls back to the vertex solution).
+            for node_inputs in stations:
+                gap = (
+                    low_side[node_inputs.node].grid_draw_j
+                    - high_side[node_inputs.node].grid_draw_j
+                )
+                if gap <= _ENERGY_TOL or extra <= _ENERGY_TOL:
+                    continue
+                if node_inputs.z >= 0:
+                    continue
+                take = min(gap, extra)
+                target_draw = high_side[node_inputs.node].grid_draw_j + take
+                allocations[node_inputs.node] = _allocation_given_grid(
+                    node_inputs, target_draw, self._exact_drift
+                )
+                extra -= take
+        return allocations
+
+    # ------------------------------------------------------------------
+    # SLSQP cross-check solver
+    # ------------------------------------------------------------------
+
+    def _solve_slsqp(
+        self, inputs: List[NodeEnergyInputs], cost: QuadraticCost
+    ) -> Dict[NodeId, NodeEnergyAllocation]:
+        """General-purpose NLP: variables [r, c_r, g, c_g, d] per node.
+
+        Complementarity (9) is omitted from the relaxation because an
+        equal-objective complementary point always exists (module docs
+        in DESIGN.md); the returned allocation nets charge against
+        discharge where both are positive.
+        """
+        n = len(inputs)
+        if n == 0:
+            return {}
+        v = self._v
+
+        def unpack(x: np.ndarray) -> np.ndarray:
+            return x.reshape(n, 5)
+
+        bs_mask = np.array([i.is_base_station for i in inputs])
+
+        def total_draw(x: np.ndarray) -> float:
+            vars_ = unpack(x)
+            return float(np.sum((vars_[:, 2] + vars_[:, 3])[bs_mask]))
+
+        z = np.array([i.z for i in inputs])
+        # Normalise the objective: drift terms scale like |z| * caps,
+        # which can be 1e8+, and SLSQP's line search stalls on badly
+        # scaled problems.  Scaling does not move the argmin.
+        scale = max(float(np.abs(z).max()), v * cost.derivative(0.0), 1.0)
+
+        exact_drift = self._exact_drift
+        eta_c = np.array([i.charge_efficiency for i in inputs])
+        eta_d = np.array([i.discharge_efficiency for i in inputs])
+
+        def objective(x: np.ndarray) -> float:
+            vars_ = unpack(x)
+            charge = vars_[:, 1] + vars_[:, 3]
+            discharge = vars_[:, 4]
+            # Level delta: eta_c * input charge - delivered / eta_d.
+            net = eta_c * charge - discharge / eta_d
+            raw = float(np.dot(z, net)) + v * cost.value(
+                max(total_draw(x), 0.0)
+            )
+            if exact_drift:
+                raw += 0.5 * float(np.dot(net, net))
+            return raw / scale
+
+        constraints = []
+        for idx, node_inputs in enumerate(inputs):
+            base = idx * 5
+
+            def demand_balance(x: np.ndarray, b: int = base, e: float = node_inputs.demand_j) -> float:
+                return x[b] + x[b + 2] + x[b + 4] - e
+
+            def renewable_cap(x: np.ndarray, b: int = base, r: float = node_inputs.renewable_j) -> float:
+                return r - x[b] - x[b + 1]
+
+            def charge_cap(x: np.ndarray, b: int = base, c: float = node_inputs.charge_cap_j) -> float:
+                return c - x[b + 1] - x[b + 3]
+
+            def grid_cap(x: np.ndarray, b: int = base, p: float = node_inputs.usable_grid_j) -> float:
+                return p - x[b + 2] - x[b + 3]
+
+            constraints.append({"type": "eq", "fun": demand_balance})
+            constraints.append({"type": "ineq", "fun": renewable_cap})
+            constraints.append({"type": "ineq", "fun": charge_cap})
+            constraints.append({"type": "ineq", "fun": grid_cap})
+
+        bounds = []
+        x0 = np.zeros(n * 5)
+        for idx, node_inputs in enumerate(inputs):
+            grid = node_inputs.usable_grid_j
+            bounds.extend(
+                [
+                    (0.0, node_inputs.renewable_j),
+                    (0.0, min(node_inputs.charge_cap_j, node_inputs.renewable_j)),
+                    (0.0, grid),
+                    (0.0, min(node_inputs.charge_cap_j, grid)),
+                    (0.0, node_inputs.discharge_cap_j),
+                ]
+            )
+            # Feasible start: serve demand greedily r -> g -> d.
+            r = min(node_inputs.renewable_j, node_inputs.demand_j)
+            g = min(grid, node_inputs.demand_j - r)
+            d = node_inputs.demand_j - r - g
+            x0[idx * 5 + 0] = r
+            x0[idx * 5 + 2] = g
+            x0[idx * 5 + 4] = max(0.0, d)
+
+        result = None
+        start = x0
+        for attempt in range(3):
+            result = optimize.minimize(
+                objective,
+                start,
+                method="SLSQP",
+                bounds=bounds,
+                constraints=constraints,
+                options={"maxiter": 500, "ftol": 1e-12},
+            )
+            if result.success:
+                break
+            # Restart from the stalled point nudged into the interior;
+            # SLSQP line searches can stall at degenerate vertices.
+            start = 0.99 * result.x + 0.01 * x0
+        assert result is not None
+        if not result.success:
+            raise SolverError(f"SLSQP failed: {result.message}")
+
+        vars_ = unpack(result.x)
+        allocations: Dict[NodeId, NodeEnergyAllocation] = {}
+        for idx, node_inputs in enumerate(inputs):
+            r, c_r, g, c_g, d = (max(0.0, float(x)) for x in vars_[idx])
+            # Net simultaneous charge/discharge (equal-objective shift).
+            overlap = min(c_r + c_g, d)
+            if overlap > FEASIBILITY_EPS:
+                from_renewable = min(overlap, c_r)
+                c_r -= from_renewable
+                c_g -= overlap - from_renewable
+                d -= overlap
+                r = min(node_inputs.renewable_j, r + from_renewable)
+            allocations[node_inputs.node] = NodeEnergyAllocation(
+                renewable_serve_j=r,
+                renewable_charge_j=c_r,
+                grid_serve_j=g,
+                grid_charge_j=c_g,
+                discharge_j=d,
+                spill_j=max(0.0, node_inputs.renewable_j - r - c_r),
+            )
+        return allocations
+
+    # ------------------------------------------------------------------
+    # Naive baseline
+    # ------------------------------------------------------------------
+
+    def _solve_grid_only(
+        self, inputs: List[NodeEnergyInputs]
+    ) -> Dict[NodeId, NodeEnergyAllocation]:
+        """Renewables serve demand, grid covers the rest, no battery.
+
+        Disconnected users with insufficient renewables fall back to
+        the battery (forced discharge) so demand stays met.
+        """
+        allocations: Dict[NodeId, NodeEnergyAllocation] = {}
+        for node_inputs in inputs:
+            r = min(node_inputs.renewable_j, node_inputs.demand_j)
+            g = min(node_inputs.usable_grid_j, node_inputs.demand_j - r)
+            d = min(node_inputs.discharge_cap_j, node_inputs.demand_j - r - g)
+            if node_inputs.demand_j - r - g - d > _ENERGY_TOL:
+                raise InfeasibleError(
+                    f"node {node_inputs.node}: grid-only policy cannot meet demand"
+                )
+            allocations[node_inputs.node] = NodeEnergyAllocation(
+                renewable_serve_j=r,
+                grid_serve_j=g,
+                discharge_j=d,
+                spill_j=node_inputs.renewable_j - r,
+            )
+        return allocations

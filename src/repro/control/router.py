@@ -1,0 +1,202 @@
+"""S3 — routing (Section IV-C-3).
+
+Minimises ``sum_{s,i,j} (-Q_i^s + Q_j^s + beta H_ij) l_ij^s`` under the
+flow constraints (16)-(18) and the link-capacity constraint (25).  The
+paper's per-link greedy rule is optimal for the ILP: each link gives its
+whole capacity to the session with the most negative coefficient (or
+carries nothing if every coefficient is non-negative), and each
+destination's required ``v_s(t)`` packets are forced onto its
+smallest-coefficient incoming link (constraint 18).
+
+Capacity modes (see DESIGN.md, "substitutions"):
+
+* ``POTENTIAL_CAPACITY`` (default) — a link may be assigned up to the
+  service it *would* receive if scheduled on its best common band this
+  slot.  The assignment parks packets in the link-layer virtual queue
+  ``G_ij``; backpressure through ``H_ij`` then attracts the scheduler.
+  This is what makes the S1 <-> S3 feedback loop bootstrap: with the
+  literal mode, an upstream link with ``H_ij = 0`` is never scheduled
+  (its S1 weight is ``H_ij * c = 0``) and therefore never earns
+  capacity to route over, so multi-hop flows starve.  The drift bound
+  (29) still holds because assignments stay below ``c_max_ij dt/delta``.
+* ``SCHEDULED_CAPACITY`` — the paper's literal Eq. (25) cap using the
+  realised ``a_ij^m``; provided for the fidelity ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.control.decisions import (
+    AdmissionDecision,
+    RoutingDecision,
+    ScheduleDecision,
+    SlotObservation,
+)
+from repro.core.lyapunov import LyapunovConstants
+from repro.model import NetworkModel
+from repro.phy.capacity import max_link_capacity_bps
+from repro.types import Link, NodeId, SessionId
+
+#: Signature for reading a data-queue backlog ``Q_i^s(t)``.
+BacklogFn = Callable[[NodeId, SessionId], float]
+
+
+class RouterMode(enum.Enum):
+    """Which capacity bound Eq. (25) applies per link (module docs)."""
+
+    POTENTIAL_CAPACITY = "potential_capacity"
+    SCHEDULED_CAPACITY = "scheduled_capacity"
+
+
+class BackpressureRouter:
+    """The S3 subproblem solver."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        constants: LyapunovConstants,
+        rng: np.random.Generator,
+        mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+    ) -> None:
+        self._model = model
+        self._constants = constants
+        self._rng = rng
+        self._mode = mode
+
+    @property
+    def mode(self) -> RouterMode:
+        """The configured capacity mode."""
+        return self._mode
+
+    def _link_capacity_pkts(
+        self, link: Link, observation: SlotObservation, schedule: ScheduleDecision
+    ) -> float:
+        """The Eq. (25) cap for ``link`` under the configured mode."""
+        if self._mode is RouterMode.SCHEDULED_CAPACITY:
+            return schedule.service_pkts(link)
+        params = self._model.params
+        tx, rx = link
+        best_bps = max(
+            (
+                max_link_capacity_bps(
+                    observation.bands.bandwidth(m), params.sinr_threshold
+                )
+                for m in observation.common_bands(self._model, tx, rx)
+            ),
+            default=0.0,
+        )
+        return best_bps * params.slot_seconds / params.sessions.packet_size_bits
+
+    def _coefficient(
+        self,
+        backlog: BacklogFn,
+        h_backlogs: Mapping[Link, float],
+        link: Link,
+        session: SessionId,
+        destination: NodeId,
+    ) -> float:
+        """The S3 objective coefficient ``-Q_i^s + Q_j^s + beta H_ij``."""
+        tx, rx = link
+        q_tx = backlog(tx, session)
+        q_rx = 0.0 if rx == destination else backlog(rx, session)
+        return -q_tx + q_rx + self._constants.beta * h_backlogs.get(link, 0.0)
+
+    def route(
+        self,
+        observation: SlotObservation,
+        schedule: ScheduleDecision,
+        admission: AdmissionDecision,
+        backlog: BacklogFn,
+        h_backlogs: Mapping[Link, float],
+        allowed_links: Optional[Mapping[Link, bool]] = None,
+    ) -> RoutingDecision:
+        """Solve S3 for one slot.
+
+        Args:
+            observation: realised random state (potential capacities).
+            schedule: the S1 decision (scheduled capacities).
+            admission: the S2 decision (per-session sources).
+            backlog: accessor for ``Q_i^s(t)``.
+            h_backlogs: current ``H_ij(t)``.
+            allowed_links: optional link filter (one-hop baselines).
+
+        Returns:
+            Per-link per-session rates ``l_ij^s(t)`` in packets.
+        """
+        rates: Dict[Tuple[NodeId, NodeId, SessionId], float] = {}
+        committed: set = set()
+        topo = self._model.topology
+
+        def link_allowed(link: Link) -> bool:
+            return allowed_links is None or allowed_links.get(link, False)
+
+        # Constraint (18): force v_s(t) onto the destination's
+        # smallest-coefficient incoming candidate link.
+        for session in self._model.sessions:
+            dest = session.destination
+            source = admission.sources[session.session_id]
+            demand = session.demand(observation.slot)
+            if demand <= 0:
+                continue
+            in_links = [
+                (i, dest)
+                for i in topo.in_neighbors.get(dest, ())
+                if i != dest and link_allowed((i, dest))
+            ]
+            if not in_links:
+                continue
+            coefficients = {
+                link: self._coefficient(
+                    backlog, h_backlogs, link, session.session_id, dest
+                )
+                for link in in_links
+                # Constraint (16): the source has no incoming traffic —
+                # irrelevant here since dest != source for a live session.
+                if link[0] != dest
+            }
+            best_value = min(coefficients.values())
+            tied = [l for l, v in coefficients.items() if v == best_value]
+            chosen = tied[0] if len(tied) == 1 else tied[self._rng.integers(len(tied))]
+            rates[(chosen[0], chosen[1], session.session_id)] = float(demand)
+            committed.add(chosen)
+
+        # All other links: whole capacity to the most negative session.
+        destinations = {s.session_id: s.destination for s in self._model.sessions}
+        sources = dict(admission.sources)
+        for link in topo.candidate_links:
+            if link in committed or not link_allowed(link):
+                continue
+            tx, rx = link
+            capacity = self._link_capacity_pkts(link, observation, schedule)
+            if capacity <= 0:
+                continue
+            eligible: List[Tuple[float, SessionId]] = []
+            for session in self._model.sessions:
+                sid = session.session_id
+                # (17): destinations emit nothing; (16): sources receive
+                # nothing; destination in-links were handled above.
+                if tx == destinations[sid] or rx == destinations[sid]:
+                    continue
+                if rx == sources[sid]:
+                    continue
+                coeff = self._coefficient(
+                    backlog, h_backlogs, link, sid, destinations[sid]
+                )
+                if coeff < 0:
+                    eligible.append((coeff, sid))
+            if not eligible:
+                continue
+            best_value = min(c for c, _ in eligible)
+            tied_sessions = [sid for c, sid in eligible if c == best_value]
+            chosen_sid = (
+                tied_sessions[0]
+                if len(tied_sessions) == 1
+                else int(self._rng.choice(tied_sessions))
+            )
+            rates[(tx, rx, chosen_sid)] = capacity
+
+        return RoutingDecision(rates=rates)

@@ -1,0 +1,477 @@
+"""S1 — link scheduling (Section IV-C-1).
+
+Minimises ``Psi-hat_1 = -(beta/delta) sum_ij H_ij sum_m c_ij^m a_ij^m dt``
+subject to the single-radio constraint (22): each node participates in
+at most one transmission per slot, as transmitter or receiver, on one
+band.  Three algorithms are provided:
+
+* ``SEQUENTIAL_FIX`` — the paper's LP-rounding heuristic (via the
+  generic :func:`repro.solvers.sequential_fix`);
+* ``MAX_WEIGHT_MATCHING`` — exact: under constraint (22) alone, S1 is a
+  maximum-weight matching over nodes with per-edge best-band weights;
+* ``GREEDY`` — sort link-bands by weight, take what fits.
+
+The base weight of a link-band is ``beta * H_ij * service_pkts`` (the
+Psi-hat_1 contribution).  When the controller passes per-node energy
+prices (energy-aware backpressure, the default), the weight additionally
+subtracts the marginal energy cost of the activation —
+``price_tx * P_min * dt + price_rx * P_recv * dt`` — restoring the
+drift coupling the paper's stage-wise decomposition drops; candidates
+whose energy cost exceeds their backlog value are not scheduled at all.
+
+After activation, per-band Foschini–Miljanic power control assigns the
+minimal transmit powers meeting ``SINR >= Gamma`` (constraint 24);
+links with no feasible power are dropped, realising the "otherwise"
+branch of Eq. (1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.control.decisions import ScheduleDecision, SlotObservation
+from repro.core.lyapunov import LyapunovConstants
+from repro.model import NetworkModel
+from repro.phy.capacity import max_link_capacity_bps
+from repro.phy.interference import big_m_coefficient
+from repro.phy.power_control import minimal_power_assignment
+from repro.exceptions import SolverError
+from repro.solvers.linprog import LinearProgram, Sense
+from repro.solvers.sequential_fix import sequential_fix
+from repro.types import Link, LinkBand, NodeId, SchedulerKind, Transmission
+
+#: Ignore links whose virtual backlog is below this (the paper's SF
+#: pre-step fixes ``a_ij^m = 0`` whenever ``H_ij = 0``).
+_H_EPS = 1e-12
+
+
+class _RadioBudget:
+    """Stateful conflict callback for multi-radio sequential fix.
+
+    The SF loop invokes the callback exactly once per variable fixed
+    to 1; this tracks per-node radio usage and per-(node, band)
+    exclusivity, returning the variables that just became infeasible.
+    """
+
+    def __init__(self, keys, radios_of) -> None:
+        self._keys = list(keys)
+        self._radios_of = radios_of
+        self._usage: Dict[NodeId, int] = {}
+        self._band_used: set = set()
+
+    def __call__(self, key: LinkBand) -> List[LinkBand]:
+        tx, rx, band = key
+        for node in (tx, rx):
+            self._usage[node] = self._usage.get(node, 0) + 1
+            self._band_used.add((node, band))
+
+        exhausted = {
+            node
+            for node in (tx, rx)
+            if self._usage[node] >= self._radios_of(node)
+        }
+        blocked: List[LinkBand] = []
+        for other in self._keys:
+            if other == key:
+                continue
+            otx, orx, oband = other
+            if otx in exhausted or orx in exhausted:
+                blocked.append(other)
+            elif oband == band and (
+                (otx, band) in self._band_used or (orx, band) in self._band_used
+            ):
+                # Constraints (20)/(21): one activity per node per band.
+                blocked.append(other)
+        return blocked
+
+
+class LinkScheduler:
+    """The S1 subproblem solver."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        constants: LyapunovConstants,
+        kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
+    ) -> None:
+        self._model = model
+        self._constants = constants
+        self._kind = kind
+
+    @property
+    def kind(self) -> SchedulerKind:
+        """The configured scheduling algorithm."""
+        return self._kind
+
+    # ------------------------------------------------------------------
+    # Candidate construction
+    # ------------------------------------------------------------------
+
+    def _service_pkts(self, band: int, observation: SlotObservation) -> float:
+        """Packets/slot a successful transmission on ``band`` carries."""
+        params = self._model.params
+        bps = max_link_capacity_bps(
+            observation.bands.bandwidth(band), params.sinr_threshold
+        )
+        return bps * params.slot_seconds / params.sessions.packet_size_bits
+
+    def _gains(self, observation: SlotObservation):
+        """The slot's gain matrix (mobility-aware)."""
+        if observation.gains is not None:
+            return observation.gains
+        return self._model.topology.gains
+
+    def _min_tx_power_w(
+        self, tx: NodeId, rx: NodeId, band: int, observation: SlotObservation
+    ) -> float | None:
+        """Zero-interference minimal power for the energy price term."""
+        params = self._model.params
+        noise = self._model.noise_power_w(observation.bands.bandwidth(band))
+        power = (
+            params.sinr_threshold * noise / self._gains(observation)[tx, rx]
+        )
+        if power > self._model.max_power_w[tx]:
+            return None
+        return power
+
+    def _candidates(
+        self,
+        observation: SlotObservation,
+        h_backlogs: Mapping[Link, float],
+        energy_prices: Optional[Mapping[NodeId, float]] = None,
+    ) -> Dict[LinkBand, float]:
+        """Net weight per candidate link-band (module docstring)."""
+        beta = self._constants.beta
+        dt = self._model.params.slot_seconds
+        weights: Dict[LinkBand, float] = {}
+        for tx, rx in self._model.topology.candidate_links:
+            backlog = h_backlogs.get((tx, rx), 0.0)
+            if backlog <= _H_EPS:
+                continue
+            for band in observation.common_bands(self._model, tx, rx):
+                service = self._service_pkts(band, observation)
+                if service <= 0:
+                    continue
+                weight = beta * backlog * service
+                if energy_prices is not None:
+                    power = self._min_tx_power_w(tx, rx, band, observation)
+                    if power is None:
+                        continue  # unreachable even without interference
+                    recv_power = self._model.nodes[rx].radio.recv_power_w
+                    weight -= energy_prices.get(tx, 0.0) * power * dt
+                    weight -= energy_prices.get(rx, 0.0) * recv_power * dt
+                if weight > 0:
+                    weights[(tx, rx, band)] = weight
+        return weights
+
+    # ------------------------------------------------------------------
+    # Activation algorithms
+    # ------------------------------------------------------------------
+
+    def _radios(self, node: NodeId) -> int:
+        """Radio budget of ``node`` (1 in the paper's model)."""
+        return self._model.nodes[node].radio.num_radios
+
+    def _conflicting(
+        self, key: LinkBand, others: Iterable[LinkBand]
+    ) -> List[LinkBand]:
+        """Link-bands excluded once ``key`` is active (single radio).
+
+        The budget-aware generalisation lives in :class:`_RadioBudget`;
+        this is the fast path when every involved node has one radio.
+        """
+        tx, rx, _ = key
+        busy = {tx, rx}
+        return [
+            other
+            for other in others
+            if other != key and (other[0] in busy or other[1] in busy)
+        ]
+
+    def _make_conflicts(self, keys: List[LinkBand]):
+        """The conflict callback for the SF loop, radio-budget aware."""
+        if all(
+            self._radios(node) == 1
+            for key in keys
+            for node in (key[0], key[1])
+        ):
+            return lambda key: self._conflicting(key, keys)
+        return _RadioBudget(keys, self._radios)
+
+    def _radio_constraints(
+        self, lp: LinearProgram, keys: List[LinkBand]
+    ) -> None:
+        """Constraints (20)-(22) generalised to radio budgets.
+
+        Per node: total activity <= num_radios; per (node, band):
+        activity <= 1 (constraints (20)/(21), which the budget row only
+        implies in the single-radio case).
+        """
+        per_node: Dict[NodeId, List[LinkBand]] = {}
+        per_node_band: Dict[Tuple[NodeId, int], List[LinkBand]] = {}
+        for tx, rx, band in keys:
+            key = (tx, rx, band)
+            for node in (tx, rx):
+                per_node.setdefault(node, []).append(key)
+                per_node_band.setdefault((node, band), []).append(key)
+        for node, involved in per_node.items():
+            lp.add_constraint(
+                {key: 1.0 for key in involved},
+                Sense.LE,
+                float(self._radios(node)),
+                name=f"radios[{node}]",
+            )
+        for (node, band), involved in per_node_band.items():
+            if self._radios(node) > 1 and len(involved) > 1:
+                lp.add_constraint(
+                    {key: 1.0 for key in involved},
+                    Sense.LE,
+                    1.0,
+                    name=f"band_excl[{node},{band}]",
+                )
+
+    def _select_sequential_fix(
+        self, weights: Dict[LinkBand, float]
+    ) -> List[LinkBand]:
+        keys = sorted(weights)
+
+        def build_lp(fixed: Mapping[LinkBand, float]) -> LinearProgram:
+            lp = LinearProgram()
+            for key in keys:
+                # Minimisation form of Psi-hat_1: negative weights.
+                lp.add_variable(key, objective=-weights[key], lower=0.0, upper=1.0)
+            for key, value in fixed.items():
+                lp.fix_variable(key, float(value))
+            self._radio_constraints(lp, keys)
+            return lp
+
+        fixed = sequential_fix(
+            binary_keys=keys,
+            build_lp=build_lp,
+            conflicts=self._make_conflicts(keys),
+        )
+        return [key for key, value in fixed.items() if value == 1]
+
+    def _select_sequential_fix_sinr(
+        self,
+        weights: Dict[LinkBand, float],
+        observation: SlotObservation,
+    ) -> List[LinkBand]:
+        """SF with the big-M SINR constraints (24) in the relaxation.
+
+        Adds a power variable per candidate link-band (linearising the
+        ``P * a`` product with ``P <= P_max * a``) and the constraint
+
+            g_ij P_ijm + M_ijm (1 - a_ijm)
+                >= Gamma (eta W_m + sum_{(k,v) != (i,j)} g_kj P_kvm),
+
+        so the LP already prices co-band interference when choosing
+        which variable to fix — fewer selections die in power control.
+        """
+        keys = sorted(weights)
+        gains = self._gains(observation)
+        params = self._model.params
+        by_band: Dict[int, List[LinkBand]] = {}
+        for key in keys:
+            by_band.setdefault(key[2], []).append(key)
+
+        def build_lp(fixed: Mapping[LinkBand, float]) -> LinearProgram:
+            lp = LinearProgram()
+            for key in keys:
+                lp.add_variable(key, objective=-weights[key], lower=0.0, upper=1.0)
+            for key in keys:
+                tx = key[0]
+                lp.add_variable(
+                    ("P", key), lower=0.0, upper=self._model.max_power_w[tx]
+                )
+            for key, value in fixed.items():
+                lp.fix_variable(key, float(value))
+                if value == 0:
+                    lp.fix_variable(("P", key), 0.0)
+
+            self._radio_constraints(lp, keys)
+
+            for band, members in by_band.items():
+                noise = self._model.noise_power_w(
+                    observation.bands.bandwidth(band)
+                )
+                for key in members:
+                    tx, rx, _ = key
+                    # Linearise P * a: power flows only when scheduled.
+                    lp.add_constraint(
+                        {
+                            ("P", key): 1.0,
+                            key: -self._model.max_power_w[tx],
+                        },
+                        Sense.LE,
+                        0.0,
+                        name=f"pow_link[{key}]",
+                    )
+                    big_m = big_m_coefficient(
+                        gains,
+                        tx,
+                        rx,
+                        noise,
+                        params.sinr_threshold,
+                        self._model.max_power_w,
+                    )
+                    # g_ij P + M (1 - a) - Gamma sum g_kj P_other
+                    #   >= Gamma eta W.
+                    coeffs: Dict = {
+                        ("P", key): gains[tx, rx],
+                        key: -big_m,
+                    }
+                    for other in members:
+                        # Links sharing a node with (tx, rx) are already
+                        # excluded by the single-radio conflicts in the
+                        # binary solution; pricing their (fractional)
+                        # self-interference here would exceed the big-M
+                        # envelope, which only covers k != i, j.
+                        if other == key or other[0] in (tx, rx):
+                            continue
+                        coeffs[("P", other)] = (
+                            -params.sinr_threshold * gains[other[0], rx]
+                        )
+                    lp.add_constraint(
+                        coeffs,
+                        Sense.GE,
+                        params.sinr_threshold * noise - big_m,
+                        name=f"sinr[{key}]",
+                    )
+            return lp
+
+        fixed = sequential_fix(
+            binary_keys=keys,
+            build_lp=build_lp,
+            conflicts=self._make_conflicts(keys),
+            check_feasibility=True,
+        )
+        return [key for key, value in fixed.items() if value == 1]
+
+    def _select_matching(self, weights: Dict[LinkBand, float]) -> List[LinkBand]:
+        """Exact S1 optimum via maximum-weight matching.
+
+        Constraint (22) makes every node a unit-capacity resource, so
+        the activation problem is a matching on the undirected node
+        graph; each undirected edge takes its best direction and band.
+        Only exact for single-radio nodes — with budgets the problem is
+        a degree-constrained subgraph, which this solver does not
+        handle.
+        """
+        involved = {node for key in weights for node in (key[0], key[1])}
+        if any(self._radios(node) > 1 for node in involved):
+            raise SolverError(
+                "MAX_WEIGHT_MATCHING is exact only for single-radio nodes; "
+                "use SEQUENTIAL_FIX or GREEDY with num_radios > 1"
+            )
+        best: Dict[Tuple[NodeId, NodeId], Tuple[float, LinkBand]] = {}
+        for (tx, rx, band), weight in weights.items():
+            edge = (min(tx, rx), max(tx, rx))
+            if edge not in best or weight > best[edge][0]:
+                best[edge] = (weight, (tx, rx, band))
+
+        graph = nx.Graph()
+        for (u, v), (weight, _) in best.items():
+            graph.add_edge(u, v, weight=weight)
+        matching = nx.max_weight_matching(graph, maxcardinality=False)
+        return [best[(min(u, v), max(u, v))][1] for u, v in matching]
+
+    def _select_greedy(self, weights: Dict[LinkBand, float]) -> List[LinkBand]:
+        usage: Dict[NodeId, int] = {}
+        band_used: set = set()
+        chosen: List[LinkBand] = []
+        # Sort by weight descending, tie-broken by key for determinism.
+        for key in sorted(weights, key=lambda k: (-weights[k], k)):
+            tx, rx, band = key
+            if any(
+                usage.get(node, 0) >= self._radios(node) for node in (tx, rx)
+            ):
+                continue
+            if (tx, band) in band_used or (rx, band) in band_used:
+                continue  # constraints (20)/(21)
+            chosen.append(key)
+            for node in (tx, rx):
+                usage[node] = usage.get(node, 0) + 1
+                band_used.add((node, band))
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        observation: SlotObservation,
+        h_backlogs: Mapping[Link, float],
+        forbidden_links: Optional[Iterable[Link]] = None,
+        energy_prices: Optional[Mapping[NodeId, float]] = None,
+    ) -> ScheduleDecision:
+        """Solve S1 for one slot.
+
+        Args:
+            observation: the slot's realised random state.
+            h_backlogs: current ``H_ij(t)`` per candidate link.
+            forbidden_links: links excluded up front (used by the
+                curtailment re-run and the one-hop baselines).
+            energy_prices: optional per-node marginal energy prices for
+                energy-aware weights; None recovers the paper's S1.
+
+        Returns:
+            The activation set with minimal feasible powers and the
+            per-link realised service in packets.
+        """
+        weights = self._candidates(observation, h_backlogs, energy_prices)
+        if forbidden_links:
+            banned = set(forbidden_links)
+            weights = {
+                key: w for key, w in weights.items() if (key[0], key[1]) not in banned
+            }
+        if not weights:
+            return ScheduleDecision()
+
+        if self._kind is SchedulerKind.SEQUENTIAL_FIX:
+            selected = self._select_sequential_fix(weights)
+        elif self._kind is SchedulerKind.SEQUENTIAL_FIX_SINR:
+            selected = self._select_sequential_fix_sinr(weights, observation)
+        elif self._kind is SchedulerKind.MAX_WEIGHT_MATCHING:
+            selected = self._select_matching(weights)
+        else:
+            selected = self._select_greedy(weights)
+
+        return self._power_control(selected, observation, h_backlogs)
+
+    def _power_control(
+        self,
+        selected: List[LinkBand],
+        observation: SlotObservation,
+        h_backlogs: Mapping[Link, float],
+    ) -> ScheduleDecision:
+        """Assign minimal powers per band and drop infeasible links."""
+        decision = ScheduleDecision()
+        by_band: Dict[int, List[Link]] = {}
+        for tx, rx, band in selected:
+            by_band.setdefault(band, []).append((tx, rx))
+
+        for band, links in sorted(by_band.items()):
+            noise = self._model.noise_power_w(observation.bands.bandwidth(band))
+            result = minimal_power_assignment(
+                links=links,
+                gains=self._gains(observation),
+                noise_power_w=noise,
+                sinr_threshold=self._model.params.sinr_threshold,
+                max_power_w=self._model.max_power_w,
+                priority={link: h_backlogs.get(link, 0.0) for link in links},
+            )
+            service = self._service_pkts(band, observation)
+            for link, power in result.powers.items():
+                decision.transmissions.append(
+                    Transmission(tx=link[0], rx=link[1], band=band, power_w=power)
+                )
+                decision.link_service_pkts[link] = (
+                    decision.link_service_pkts.get(link, 0.0) + service
+                )
+            for link in result.dropped:
+                decision.dropped.append((link[0], link[1], band))
+        return decision

@@ -1,0 +1,33 @@
+"""Lyapunov core: drift constants, penalty terms, and optimality bounds."""
+
+from repro.core.lyapunov import LyapunovConstants, compute_constants, lyapunov_value
+from repro.core.drift import (
+    DriftTerms,
+    battery_drift_quadratic_term,
+    compute_drift_terms,
+)
+from repro.core.bounds import BoundReport, RelaxedLpController, lower_bound_cost
+from repro.core.theory import (
+    PlateauCheck,
+    TheoryPredictions,
+    fill_time_slots,
+    predict,
+    verify_bs_plateau,
+)
+
+__all__ = [
+    "LyapunovConstants",
+    "compute_constants",
+    "lyapunov_value",
+    "DriftTerms",
+    "battery_drift_quadratic_term",
+    "compute_drift_terms",
+    "BoundReport",
+    "RelaxedLpController",
+    "lower_bound_cost",
+    "PlateauCheck",
+    "TheoryPredictions",
+    "fill_time_slots",
+    "predict",
+    "verify_bs_plateau",
+]

@@ -1,0 +1,38 @@
+"""Energy substrate: batteries, renewables, grid, cost, consumption."""
+
+from repro.energy.battery import Battery, BatteryAction
+from repro.energy.renewable import (
+    DiurnalSolarProcess,
+    MarkovWindProcess,
+    RenewableProcess,
+    UniformRenewableProcess,
+    ZeroRenewableProcess,
+)
+from repro.energy.grid import GridConnection, ScriptedGridConnection
+from repro.energy.cost import (
+    CostFunction,
+    LinearCost,
+    PiecewiseLinearCost,
+    QuadraticCost,
+    TimeOfUseCost,
+)
+from repro.energy.consumption import transmission_energy_j, node_energy_demand_j
+
+__all__ = [
+    "Battery",
+    "BatteryAction",
+    "DiurnalSolarProcess",
+    "MarkovWindProcess",
+    "RenewableProcess",
+    "UniformRenewableProcess",
+    "ZeroRenewableProcess",
+    "GridConnection",
+    "ScriptedGridConnection",
+    "CostFunction",
+    "LinearCost",
+    "PiecewiseLinearCost",
+    "QuadraticCost",
+    "TimeOfUseCost",
+    "transmission_energy_j",
+    "node_energy_demand_j",
+]

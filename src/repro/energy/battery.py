@@ -1,0 +1,152 @@
+"""Energy storage units (Eqs. 4 and 9-13 of the paper).
+
+Each node owns one :class:`Battery`.  Per slot the energy manager picks
+a :class:`BatteryAction` — a charge amount and a discharge amount, of
+which at most one may be positive (the charge-xor-discharge
+complementarity constraint (9)) — and :meth:`Battery.apply` advances
+the energy-queue law ``x(t+1) = x(t) + c(t) - d(t)`` while enforcing
+every storage invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import FEASIBILITY_EPS
+from repro.exceptions import EnergyError
+
+
+@dataclass(frozen=True)
+class BatteryAction:
+    """One slot's charge/discharge decision for a battery (joules).
+
+    Attributes:
+        charge_j: ``c_i(t)`` — energy pushed into the unit.
+        discharge_j: ``d_i(t)`` — energy drawn from the unit.
+    """
+
+    charge_j: float = 0.0
+    discharge_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.charge_j < -FEASIBILITY_EPS:
+            raise EnergyError(f"negative charge {self.charge_j}")
+        if self.discharge_j < -FEASIBILITY_EPS:
+            raise EnergyError(f"negative discharge {self.discharge_j}")
+        # Complementarity constraint (9): never charge and discharge in
+        # the same slot.
+        if self.charge_j > FEASIBILITY_EPS and self.discharge_j > FEASIBILITY_EPS:
+            raise EnergyError(
+                "constraint (9) violated: simultaneous charge "
+                f"({self.charge_j} J) and discharge ({self.discharge_j} J)"
+            )
+
+    @property
+    def net_j(self) -> float:
+        """Net energy into the unit: ``c(t) - d(t)``."""
+        return self.charge_j - self.discharge_j
+
+
+class Battery:
+    """A node's energy storage unit.
+
+    Attributes:
+        capacity_j: ``x_max``.
+        charge_cap_j: per-slot charging cap ``c_max`` (input energy).
+        discharge_cap_j: per-slot discharging cap ``d_max`` (drained
+            energy).
+        charge_efficiency: fraction of charged input energy stored
+            (the paper's Eq. (4) is lossless: 1.0).
+        discharge_efficiency: fraction of drained energy delivered to
+            the load (1.0 in the paper).
+    """
+
+    def __init__(
+        self,
+        capacity_j: float,
+        charge_cap_j: float,
+        discharge_cap_j: float,
+        initial_level_j: float = 0.0,
+        charge_efficiency: float = 1.0,
+        discharge_efficiency: float = 1.0,
+    ) -> None:
+        if capacity_j <= 0:
+            raise EnergyError(f"capacity must be positive, got {capacity_j}")
+        if charge_cap_j < 0 or discharge_cap_j < 0:
+            raise EnergyError("charge/discharge caps must be non-negative")
+        # Constraint (13): c_max + d_max <= x_max.
+        if charge_cap_j + discharge_cap_j > capacity_j + FEASIBILITY_EPS:
+            raise EnergyError(
+                "constraint (13) violated: "
+                f"c_max + d_max = {charge_cap_j + discharge_cap_j} "
+                f"> x_max = {capacity_j}"
+            )
+        if not 0 <= initial_level_j <= capacity_j:
+            raise EnergyError(
+                f"initial level {initial_level_j} outside [0, {capacity_j}]"
+            )
+        for name, value in (
+            ("charge_efficiency", charge_efficiency),
+            ("discharge_efficiency", discharge_efficiency),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise EnergyError(f"{name} must be in (0, 1], got {value}")
+        self.capacity_j = capacity_j
+        self.charge_cap_j = charge_cap_j
+        self.discharge_cap_j = discharge_cap_j
+        self.charge_efficiency = charge_efficiency
+        self.discharge_efficiency = discharge_efficiency
+        self._level_j = initial_level_j
+
+    @property
+    def level_j(self) -> float:
+        """Current stored energy ``x_i(t)`` (J)."""
+        return self._level_j
+
+    def max_charge_j(self) -> float:
+        """Constraint (11) on *input* energy: caps and headroom.
+
+        With charge losses, input energy ``c`` stores ``eta_c * c``, so
+        the headroom admits ``(x_max - x) / eta_c`` of input.
+        """
+        headroom = (self.capacity_j - self._level_j) / self.charge_efficiency
+        return min(self.charge_cap_j, headroom)
+
+    def max_discharge_j(self) -> float:
+        """Constraint (12) on drained energy: ``min(d_max, x(t))``."""
+        return min(self.discharge_cap_j, self._level_j)
+
+    def max_deliverable_j(self) -> float:
+        """Most energy one slot's discharge can deliver to the load."""
+        return self.discharge_efficiency * self.max_discharge_j()
+
+    def validate(self, action: BatteryAction) -> None:
+        """Raise :class:`EnergyError` if ``action`` violates (11)/(12)."""
+        if action.charge_j > self.max_charge_j() + FEASIBILITY_EPS:
+            raise EnergyError(
+                f"constraint (11) violated: charge {action.charge_j} J "
+                f"> min(c_max, headroom) = {self.max_charge_j()} J"
+            )
+        if action.discharge_j > self.max_discharge_j() + FEASIBILITY_EPS:
+            raise EnergyError(
+                f"constraint (12) violated: discharge {action.discharge_j} J "
+                f"> min(d_max, level) = {self.max_discharge_j()} J"
+            )
+
+    def apply(self, action: BatteryAction) -> float:
+        """Advance the energy-queue law (Eq. 4, with efficiencies).
+
+        ``x(t+1) = x(t) + eta_c * c(t) - d(t)``; the load receives
+        ``eta_d * d(t)``.
+
+        Returns:
+            The new level ``x_i(t+1)``.
+        """
+        self.validate(action)
+        self._level_j += (
+            self.charge_efficiency * action.charge_j - action.discharge_j
+        )
+        # Numerical guard: clamp round-off, never mask real violations
+        # (validate() above already rejected those).
+        self._level_j = min(max(self._level_j, 0.0), self.capacity_j)
+        return self._level_j

@@ -1,0 +1,72 @@
+"""Per-node energy consumption model (Eqs. 2 and 23).
+
+A node's slot demand is
+
+    E_i(t) = E_const + E_idle + E_TX(t),
+
+where ``E_TX`` sums transmit energy over its scheduled outgoing
+transmissions and constant receive energy over its incoming ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.config.parameters import NodeParameters
+from repro.types import NodeId, Transmission
+
+
+def transmission_energy_j(
+    node: NodeId,
+    transmissions: Iterable[Transmission],
+    recv_power_w: float,
+    slot_seconds: float,
+) -> float:
+    """``E_TX_i(t)`` of Eq. (23) for node ``node``.
+
+    Args:
+        node: the node whose traffic-serving energy is wanted.
+        transmissions: the slot's full transmission schedule.
+        recv_power_w: the node's constant receive power ``P_recv``.
+        slot_seconds: slot duration ``delta_t``.
+
+    Returns:
+        Transmit energy (actual scheduled powers) plus receive energy.
+    """
+    if slot_seconds <= 0:
+        raise ValueError(f"slot length must be positive, got {slot_seconds}")
+    energy = 0.0
+    for t in transmissions:
+        if t.tx == node:
+            energy += t.power_w * slot_seconds
+        elif t.rx == node:
+            energy += recv_power_w * slot_seconds
+    return energy
+
+
+def node_energy_demand_j(
+    node: NodeId,
+    node_params: NodeParameters,
+    transmissions: Iterable[Transmission],
+    slot_seconds: float,
+) -> float:
+    """Total slot demand ``E_i(t)`` of Eq. (2)."""
+    return node_params.fixed_energy_j(slot_seconds) + transmission_energy_j(
+        node, transmissions, node_params.recv_power_w, slot_seconds
+    )
+
+
+def all_node_demands_j(
+    node_params_by_id: Dict[NodeId, NodeParameters],
+    transmissions: Iterable[Transmission],
+    slot_seconds: float,
+) -> Dict[NodeId, float]:
+    """``E_i(t)`` for every node, in one pass over the schedule."""
+    demands = {
+        node: params.fixed_energy_j(slot_seconds)
+        for node, params in node_params_by_id.items()
+    }
+    for t in transmissions:
+        demands[t.tx] += t.power_w * slot_seconds
+        demands[t.rx] += node_params_by_id[t.rx].recv_power_w * slot_seconds
+    return demands

@@ -1,0 +1,121 @@
+"""Grid connections: the ``omega_i(t)`` process and per-slot draw caps.
+
+Base stations are always grid-connected (``omega = 1``); mobile users
+are connected intermittently via an i.i.d. Bernoulli process ``xi_i(t)``
+(Section II-D).  The amount a node draws per slot — demand-serving
+``g_i(t)`` plus battery-charging ``c^g_i(t)`` — is capped by ``p_max``
+(constraint 14).
+
+``ScriptedGridConnection`` extends the model with deterministic outage
+windows for resilience studies (failure injection): during an outage
+the node is disconnected regardless of its Bernoulli draw.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EnergyError
+
+
+class GridConnection:
+    """One node's connection to the power grid.
+
+    Attributes:
+        draw_cap_j: ``p_max`` — maximum per-slot draw (J).
+        connect_prob: probability of ``omega_i(t) = 1``; 1.0 models an
+            always-connected base station.
+    """
+
+    def __init__(
+        self,
+        draw_cap_j: float,
+        connect_prob: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if draw_cap_j < 0:
+            raise EnergyError(f"draw cap must be non-negative, got {draw_cap_j}")
+        if not 0.0 <= connect_prob <= 1.0:
+            raise EnergyError(f"connect_prob must be in [0, 1], got {connect_prob}")
+        self.draw_cap_j = draw_cap_j
+        self.connect_prob = connect_prob
+        self._rng = rng
+
+    @property
+    def always_connected(self) -> bool:
+        """True for base stations (``omega_i(t) = 1`` for all ``t``)."""
+        return self.connect_prob >= 1.0
+
+    def sample_connected(self, slot: int) -> bool:
+        """Draw ``omega_i(t)`` for one slot."""
+        del slot  # i.i.d. process
+        if self.always_connected:
+            return True
+        if self.connect_prob <= 0.0:
+            return False
+        return bool(self._rng.random() < self.connect_prob)
+
+    def validate_draw(self, serve_j: float, charge_j: float, connected: bool) -> None:
+        """Check constraint (14) for one slot's grid usage.
+
+        Args:
+            serve_j: ``g_i(t)`` — grid energy serving demand directly.
+            charge_j: ``c^g_i(t)`` — grid energy charging the battery.
+            connected: the realised ``omega_i(t)``.
+
+        Raises:
+            EnergyError: on a negative draw, drawing while disconnected,
+                or exceeding ``p_max``.
+        """
+        if serve_j < 0 or charge_j < 0:
+            raise EnergyError(
+                f"grid draws must be non-negative: serve={serve_j}, charge={charge_j}"
+            )
+        total = serve_j + charge_j
+        if total > 0 and not connected:
+            raise EnergyError(
+                f"drawing {total} J from the grid while disconnected (omega=0)"
+            )
+        if total > self.draw_cap_j * (1 + 1e-9):
+            raise EnergyError(
+                f"constraint (14) violated: draw {total} J > p_max = {self.draw_cap_j} J"
+            )
+
+
+class ScriptedGridConnection(GridConnection):
+    """A grid connection with deterministic outage windows.
+
+    Args:
+        draw_cap_j: per-slot draw cap ``p_max`` (J).
+        connect_prob: baseline connectivity outside outages.
+        rng: generator for the Bernoulli draws.
+        outages: ``(start_slot, end_slot)`` half-open intervals during
+            which the node is forcibly disconnected.
+    """
+
+    def __init__(
+        self,
+        draw_cap_j: float,
+        connect_prob: float,
+        rng: np.random.Generator,
+        outages: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        super().__init__(draw_cap_j, connect_prob, rng)
+        for start, end in outages:
+            if start >= end:
+                raise EnergyError(
+                    f"empty outage window [{start}, {end}); use start < end"
+                )
+        self.outages = tuple(outages)
+
+    def in_outage(self, slot: int) -> bool:
+        """True when ``slot`` falls inside any outage window."""
+        return any(start <= slot < end for start, end in self.outages)
+
+    def sample_connected(self, slot: int) -> bool:
+        """``omega_i(t)`` forced to 0 inside outage windows."""
+        if self.in_outage(slot):
+            return False
+        return super().sample_connected(slot)

@@ -1,0 +1,150 @@
+"""Renewable-generation processes.
+
+The paper models each node's renewable output ``R_i(t)`` as an i.i.d.
+process bounded by ``R_max`` (uniform in the evaluation).  Besides the
+paper's :class:`UniformRenewableProcess`, this module provides a
+deterministic-profile solar process and a Markov-modulated wind process
+for the example scenarios, plus the degenerate zero process used by the
+"without renewable energy" baselines.  All processes return *energy per
+slot* in joules.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+class RenewableProcess(abc.ABC):
+    """Interface: per-slot renewable energy output of one node."""
+
+    @abc.abstractmethod
+    def sample(self, slot: int) -> float:
+        """Energy harvested in ``slot`` (J), in ``[0, max_output_j]``."""
+
+    @property
+    @abc.abstractmethod
+    def max_output_j(self) -> float:
+        """The a.s. upper bound ``R_max * slot_seconds`` (J)."""
+
+
+class UniformRenewableProcess(RenewableProcess):
+    """I.i.d. uniform output on ``[0, max_power_w]`` (the paper's model)."""
+
+    def __init__(
+        self, max_power_w: float, slot_seconds: float, rng: np.random.Generator
+    ) -> None:
+        if max_power_w < 0:
+            raise ValueError(f"max power must be non-negative, got {max_power_w}")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot length must be positive, got {slot_seconds}")
+        self._max_output_j = max_power_w * slot_seconds
+        self._rng = rng
+
+    def sample(self, slot: int) -> float:
+        del slot  # i.i.d. process
+        return float(self._rng.uniform(0.0, self._max_output_j))
+
+    @property
+    def max_output_j(self) -> float:
+        return self._max_output_j
+
+
+class ZeroRenewableProcess(RenewableProcess):
+    """No renewable generation (baselines without renewables)."""
+
+    def sample(self, slot: int) -> float:
+        del slot
+        return 0.0
+
+    @property
+    def max_output_j(self) -> float:
+        return 0.0
+
+
+class DiurnalSolarProcess(RenewableProcess):
+    """Solar output following a clipped-sine day/night profile.
+
+    Output peaks at ``peak_power_w`` at mid-day and is zero at night;
+    multiplicative uniform noise on ``[1 - noise, 1]`` models cloud
+    cover.  One "day" spans ``slots_per_day`` slots.
+    """
+
+    def __init__(
+        self,
+        peak_power_w: float,
+        slot_seconds: float,
+        rng: np.random.Generator,
+        slots_per_day: int = 1440,
+        noise: float = 0.3,
+    ) -> None:
+        if peak_power_w < 0:
+            raise ValueError(f"peak power must be non-negative, got {peak_power_w}")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot length must be positive, got {slot_seconds}")
+        if slots_per_day < 1:
+            raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
+        if not 0.0 <= noise <= 1.0:
+            raise ValueError(f"noise must be in [0, 1], got {noise}")
+        self._max_output_j = peak_power_w * slot_seconds
+        self._slots_per_day = slots_per_day
+        self._noise = noise
+        self._rng = rng
+
+    def sample(self, slot: int) -> float:
+        phase = 2.0 * math.pi * (slot % self._slots_per_day) / self._slots_per_day
+        irradiance = max(0.0, math.sin(phase))
+        cloud = self._rng.uniform(1.0 - self._noise, 1.0)
+        return self._max_output_j * irradiance * cloud
+
+    @property
+    def max_output_j(self) -> float:
+        return self._max_output_j
+
+
+class MarkovWindProcess(RenewableProcess):
+    """Wind output driven by a small Markov chain over wind regimes.
+
+    States are fractions of ``max_power_w`` (e.g. calm / breezy /
+    windy); the chain adds temporal correlation that the i.i.d. model
+    lacks, which matters for battery sizing studies.
+    """
+
+    def __init__(
+        self,
+        max_power_w: float,
+        slot_seconds: float,
+        rng: np.random.Generator,
+        levels: Sequence[float] = (0.1, 0.5, 0.9),
+        persistence: float = 0.8,
+    ) -> None:
+        if max_power_w < 0:
+            raise ValueError(f"max power must be non-negative, got {max_power_w}")
+        if slot_seconds <= 0:
+            raise ValueError(f"slot length must be positive, got {slot_seconds}")
+        if not levels:
+            raise ValueError("at least one wind level is required")
+        if any(not 0.0 <= lv <= 1.0 for lv in levels):
+            raise ValueError(f"levels must lie in [0, 1], got {levels!r}")
+        if not 0.0 <= persistence <= 1.0:
+            raise ValueError(f"persistence must be in [0, 1], got {persistence}")
+        self._max_output_j = max_power_w * slot_seconds
+        self._levels = list(levels)
+        self._persistence = persistence
+        self._rng = rng
+        self._state = int(rng.integers(0, len(self._levels)))
+
+    def sample(self, slot: int) -> float:
+        del slot  # the chain carries its own state
+        if self._rng.random() > self._persistence:
+            self._state = int(self._rng.integers(0, len(self._levels)))
+        # Small intra-state jitter so output is not piecewise constant.
+        jitter = self._rng.uniform(0.9, 1.0)
+        return self._max_output_j * self._levels[self._state] * jitter
+
+    @property
+    def max_output_j(self) -> float:
+        return self._max_output_j

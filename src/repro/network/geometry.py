@@ -1,0 +1,68 @@
+"""Node-placement geometry helpers.
+
+The paper places users uniformly at random in a square; the grid and
+clustered variants support the example scenarios and tests that need
+reproducible or structured layouts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.types import Point
+
+
+def uniform_random_placement(
+    count: int, side_m: float, rng: np.random.Generator
+) -> List[Point]:
+    """``count`` points i.i.d. uniform on the ``side_m`` square."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    coords = rng.uniform(0.0, side_m, size=(count, 2))
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+def grid_placement(count: int, side_m: float) -> List[Point]:
+    """``count`` points on a near-square grid with half-cell margins.
+
+    Deterministic; useful for tests that need known pairwise distances.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return []
+    cols = int(math.ceil(math.sqrt(count)))
+    rows = int(math.ceil(count / cols))
+    dx = side_m / cols
+    dy = side_m / rows
+    points: List[Point] = []
+    for k in range(count):
+        row, col = divmod(k, cols)
+        points.append(Point((col + 0.5) * dx, (row + 0.5) * dy))
+    return points
+
+
+def clustered_placement(
+    count: int,
+    side_m: float,
+    rng: np.random.Generator,
+    num_clusters: int = 3,
+    cluster_std_m: float = 150.0,
+) -> List[Point]:
+    """Points drawn around random cluster centres (hot-spot traffic).
+
+    Cluster centres are uniform in the area; each point picks a centre
+    uniformly and adds Gaussian jitter, clipped to the area.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if num_clusters < 1:
+        raise ValueError(f"num_clusters must be >= 1, got {num_clusters}")
+    centres = rng.uniform(0.0, side_m, size=(num_clusters, 2))
+    assignments = rng.integers(0, num_clusters, size=count)
+    jitter = rng.normal(0.0, cluster_std_m, size=(count, 2))
+    coords = np.clip(centres[assignments] + jitter, 0.0, side_m)
+    return [Point(float(x), float(y)) for x, y in coords]

@@ -1,0 +1,95 @@
+"""Node objects: identity, kind, position, and static parameters.
+
+Node ids are dense integers: base stations occupy ``0 .. B-1`` and
+mobile users ``B .. N-1``, matching ``ScenarioParameters.node_kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.config.parameters import (
+    EnergyParameters,
+    NodeParameters,
+    ScenarioParameters,
+)
+from repro.network.geometry import uniform_random_placement
+from repro.types import NodeId, NodeKind, Point
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network node (base station or mobile user).
+
+    Attributes:
+        node_id: dense integer id.
+        kind: base station or mobile user.
+        position: deployment-plane coordinates (m).
+        radio: radio/platform parameters.
+        energy: energy-subsystem parameters.
+    """
+
+    node_id: NodeId
+    kind: NodeKind
+    position: Point
+    radio: NodeParameters
+    energy: EnergyParameters
+
+    @property
+    def is_base_station(self) -> bool:
+        """True if this node is a base station."""
+        return self.kind is NodeKind.BASE_STATION
+
+    @property
+    def is_user(self) -> bool:
+        """True if this node is a mobile user."""
+        return self.kind is NodeKind.MOBILE_USER
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "BS" if self.is_base_station else "UE"
+        return f"Node({self.node_id}, {tag}, ({self.position.x:.0f}, {self.position.y:.0f}))"
+
+
+def build_nodes(
+    params: ScenarioParameters, rng: np.random.Generator
+) -> List[Node]:
+    """Instantiate all nodes of a scenario.
+
+    Base stations take the configured fixed positions; users are placed
+    uniformly at random in the square area using ``rng``.
+
+    Args:
+        params: validated scenario parameters.
+        rng: generator used for user placement.
+
+    Returns:
+        Nodes ordered by id (base stations first).
+    """
+    nodes: List[Node] = []
+    for bs_id, position in enumerate(params.base_station_positions):
+        nodes.append(
+            Node(
+                node_id=bs_id,
+                kind=NodeKind.BASE_STATION,
+                position=position,
+                radio=params.bs_node,
+                energy=params.bs_energy,
+            )
+        )
+    user_positions: Sequence[Point] = uniform_random_placement(
+        params.num_users, params.area_side_m, rng
+    )
+    for offset, position in enumerate(user_positions):
+        nodes.append(
+            Node(
+                node_id=params.num_base_stations + offset,
+                kind=NodeKind.MOBILE_USER,
+                position=position,
+                radio=params.user_node,
+                energy=params.user_energy,
+            )
+        )
+    return nodes

@@ -1,0 +1,156 @@
+"""Topology: distances, propagation gains, and candidate links.
+
+The per-slot optimization works over a pruned set of *candidate*
+directed links rather than all ``N(N-1)`` pairs: a link is a candidate
+when its SINR at maximum transmit power and zero interference clears the
+decoding threshold, and (optionally) when the receiver is among the
+transmitter's ``neighbor_limit`` nearest feasible neighbours.  Pruning
+never removes a link the physical model could actually use, because a
+link that fails the zero-interference check can never be scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.config.parameters import ScenarioParameters
+from repro.exceptions import TopologyError
+from repro.network.node import Node
+from repro.phy.propagation import gain_matrix
+from repro.types import Link, NodeId, NodeKind
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Immutable topology snapshot for one scenario.
+
+    Attributes:
+        nodes: all nodes ordered by id.
+        distances: ``(N, N)`` Euclidean distance matrix (m).
+        gains: ``(N, N)`` power propagation gains ``g_ij``.
+        candidate_links: pruned directed links usable by the scheduler.
+        out_neighbors: candidate receivers per transmitter.
+        in_neighbors: candidate transmitters per receiver.
+    """
+
+    nodes: Tuple[Node, ...]
+    distances: np.ndarray
+    gains: np.ndarray
+    candidate_links: Tuple[Link, ...]
+    out_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = field(repr=False)
+    in_neighbors: Dict[NodeId, Tuple[NodeId, ...]] = field(repr=False)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count."""
+        return len(self.nodes)
+
+    def node(self, node_id: NodeId) -> Node:
+        """Node by id, with range checking."""
+        if not 0 <= node_id < len(self.nodes):
+            raise TopologyError(f"unknown node id {node_id}")
+        return self.nodes[node_id]
+
+    def gain(self, tx: NodeId, rx: NodeId) -> float:
+        """Propagation gain ``g_ij`` between two nodes."""
+        return float(self.gains[tx, rx])
+
+    def has_link(self, tx: NodeId, rx: NodeId) -> bool:
+        """True if ``(tx, rx)`` is a candidate link."""
+        return rx in self.out_neighbors.get(tx, ())
+
+    def as_graph(self) -> nx.DiGraph:
+        """The candidate-link set as a networkx digraph."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.num_nodes))
+        graph.add_edges_from(self.candidate_links)
+        return graph
+
+    def is_connected_to_some_bs(self, node_id: NodeId, bs_ids: Sequence[NodeId]) -> bool:
+        """True if ``node_id`` is reachable from any base station."""
+        graph = self.as_graph()
+        return any(nx.has_path(graph, bs, node_id) for bs in bs_ids)
+
+
+def _max_range_feasible(
+    params: ScenarioParameters, gains: np.ndarray, tx: NodeId, rx: NodeId
+) -> bool:
+    """Zero-interference feasibility of link (tx, rx) at max power.
+
+    Uses the smallest possible bandwidth (the cellular band) for the
+    noise term, which is the most permissive case: if the link fails
+    here it fails on every band in every slot.
+    """
+    p_max = params.node_params(tx).max_tx_power_w
+    noise = params.noise_density_w_per_hz * params.spectrum.cellular_bandwidth_hz
+    return gains[tx, rx] * p_max >= params.sinr_threshold * noise
+
+
+def build_topology(params: ScenarioParameters, nodes: Sequence[Node]) -> Topology:
+    """Construct the topology for a scenario.
+
+    Args:
+        params: validated scenario parameters.
+        nodes: nodes from :func:`repro.network.node.build_nodes`.
+
+    Returns:
+        The pruned :class:`Topology`.
+
+    Raises:
+        TopologyError: if any node ends up with no candidate links at
+            all (an isolated node can never be served).
+    """
+    num_nodes = len(nodes)
+    positions = np.array([[n.position.x, n.position.y] for n in nodes])
+    diffs = positions[:, None, :] - positions[None, :, :]
+    distances = np.sqrt((diffs**2).sum(axis=2))
+
+    gains = gain_matrix(
+        distances, params.propagation_constant, params.path_loss_exponent
+    )
+
+    links: List[Link] = []
+    out_neighbors: Dict[NodeId, List[NodeId]] = {n: [] for n in range(num_nodes)}
+    in_neighbors: Dict[NodeId, List[NodeId]] = {n: [] for n in range(num_nodes)}
+
+    for tx in range(num_nodes):
+        feasible = [
+            rx
+            for rx in range(num_nodes)
+            if rx != tx and _max_range_feasible(params, gains, tx, rx)
+        ]
+        feasible.sort(key=lambda rx: distances[tx, rx])
+        # Base stations keep links to every feasible receiver so the
+        # one-hop architectures can always serve their users directly;
+        # the neighbour cap only prunes user-originated links.
+        is_user = params.node_kind(tx) is NodeKind.MOBILE_USER
+        if params.neighbor_limit is not None and is_user:
+            feasible = feasible[: params.neighbor_limit]
+        for rx in feasible:
+            links.append((tx, rx))
+            out_neighbors[tx].append(rx)
+            in_neighbors[rx].append(tx)
+
+    isolated = [
+        n
+        for n in range(num_nodes)
+        if not out_neighbors[n] and not in_neighbors[n]
+    ]
+    if isolated:
+        raise TopologyError(
+            f"nodes {isolated} have no feasible links; increase transmit "
+            "power, shrink the area, or raise neighbor_limit"
+        )
+
+    return Topology(
+        nodes=tuple(nodes),
+        distances=distances,
+        gains=gains,
+        candidate_links=tuple(links),
+        out_neighbors={n: tuple(v) for n, v in out_neighbors.items()},
+        in_neighbors={n: tuple(v) for n, v in in_neighbors.items()},
+    )

@@ -1,0 +1,46 @@
+"""Link capacity per Eq. (1) of the paper.
+
+Under the physical model a transmission either clears the SINR
+threshold ``Gamma`` — in which case it runs at the fixed spectral
+efficiency ``log2(1 + Gamma)`` — or it fails and carries nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def link_capacity_bps(
+    bandwidth_hz: float, sinr_value: float, sinr_threshold: float
+) -> float:
+    """Capacity of a link in bits/second per Eq. (1).
+
+    Args:
+        bandwidth_hz: the band's bandwidth ``W_m(t)``.
+        sinr_value: achieved SINR of the transmission.
+        sinr_threshold: decoding threshold ``Gamma``.
+
+    Returns:
+        ``W_m(t) * log2(1 + Gamma)`` if ``sinr_value >= Gamma`` else 0.
+    """
+    if bandwidth_hz < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {bandwidth_hz}")
+    if sinr_threshold <= 0:
+        raise ValueError(f"SINR threshold must be positive, got {sinr_threshold}")
+    if sinr_value >= sinr_threshold:
+        return bandwidth_hz * math.log2(1.0 + sinr_threshold)
+    return 0.0
+
+
+def max_link_capacity_bps(bandwidth_hz: float, sinr_threshold: float) -> float:
+    """The capacity a link attains *when scheduled successfully*.
+
+    This is the coefficient the S1/S3 subproblems use before power
+    control has confirmed the SINR: under Eq. (1) a successful link on
+    band ``m`` always carries ``W_m(t) * log2(1 + Gamma)``.
+    """
+    if bandwidth_hz < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {bandwidth_hz}")
+    if sinr_threshold <= 0:
+        raise ValueError(f"SINR threshold must be positive, got {sinr_threshold}")
+    return bandwidth_hz * math.log2(1.0 + sinr_threshold)

@@ -1,0 +1,57 @@
+"""Physical-model feasibility helpers and the big-M constant of Eq. (24).
+
+These are the ingredients of the paper's linearised SINR constraint:
+
+    g_ij P_ij^m a_ij^m + M_ij^m (1 - a_ij^m)
+        >= Gamma (eta_j W_m + sum_{k!=i} g_kj P_kv^m a_kv^m),
+
+with ``M_ij^m = Gamma (eta_j W_m + sum_{k!=i} g_kj P_max^k)`` chosen so
+the constraint is vacuous when the link is not scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.types import NodeId
+
+
+def zero_interference_feasible(
+    gain: float,
+    max_power_w: float,
+    noise_power_w: float,
+    sinr_threshold: float,
+) -> bool:
+    """True if a link clears ``Gamma`` at max power with no interference.
+
+    This is the necessary condition for a link ever being schedulable;
+    the topology builder uses it for candidate-link pruning.
+    """
+    if noise_power_w <= 0:
+        raise ValueError(f"noise power must be positive, got {noise_power_w}")
+    return gain * max_power_w >= sinr_threshold * noise_power_w
+
+
+def big_m_coefficient(
+    gains: np.ndarray,
+    tx: NodeId,
+    rx: NodeId,
+    noise_power_w: float,
+    sinr_threshold: float,
+    max_power_w: Dict[NodeId, float],
+) -> float:
+    """The constant ``M_ij^m`` of Eq. (24).
+
+    Set to the worst-case right-hand side — every other node
+    transmitting at its maximum power — so that a de-scheduled link
+    (``a_ij^m = 0``) imposes no restriction.
+    """
+    num_nodes = gains.shape[0]
+    worst_interference = sum(
+        gains[k, rx] * max_power_w[k]
+        for k in range(num_nodes)
+        if k != tx and k != rx
+    )
+    return sinr_threshold * (noise_power_w + worst_interference)

@@ -1,0 +1,123 @@
+"""Minimal-power assignment for a co-band link set (Foschini–Miljanic).
+
+The paper's S1 schedules links and leaves the transmit powers
+``P_ij^m`` to the physical-model constraint (24).  Given the set of
+links scheduled on one band, the classical minimum solution that makes
+every SINR exactly ``Gamma`` solves the linear system
+
+    (I - Gamma * F) p = Gamma * u,
+
+where ``F[l, k] = g(tx_k, rx_l) / g(tx_l, rx_l)`` for ``k != l`` and
+``u[l] = eta * W / g(tx_l, rx_l)``.  The system has a positive solution
+iff the spectral radius of ``Gamma * F`` is below one; links whose
+required power exceeds their cap (or that make the set infeasible) are
+dropped in increasing priority order, reproducing Eq. (1)'s
+"otherwise -> capacity 0" branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.types import Link, NodeId
+
+
+@dataclass
+class PowerControlResult:
+    """Outcome of minimal-power assignment on one band.
+
+    Attributes:
+        powers: transmit power (W) per surviving link.
+        dropped: links removed because no feasible power exists.
+    """
+
+    powers: Dict[Link, float] = field(default_factory=dict)
+    dropped: List[Link] = field(default_factory=list)
+
+    @property
+    def scheduled(self) -> Tuple[Link, ...]:
+        """Links that survived with a feasible power."""
+        return tuple(self.powers)
+
+
+def _solve_min_powers(
+    links: Sequence[Link],
+    gains: np.ndarray,
+    noise_power_w: float,
+    sinr_threshold: float,
+) -> np.ndarray:
+    """Exact minimal powers for ``links``; +inf rows mark infeasibility."""
+    n = len(links)
+    direct = np.array([gains[tx, rx] for tx, rx in links])
+    cross = np.zeros((n, n))
+    for l, (_, rx_l) in enumerate(links):
+        for k, (tx_k, _) in enumerate(links):
+            if k != l:
+                cross[l, k] = gains[tx_k, rx_l]
+    coupling = sinr_threshold * cross / direct[:, None]
+    noise_term = sinr_threshold * noise_power_w / direct
+
+    system = np.eye(n) - coupling
+    try:
+        powers = np.linalg.solve(system, noise_term)
+    except np.linalg.LinAlgError:
+        return np.full(n, np.inf)
+    if np.any(powers <= 0) or not np.all(np.isfinite(powers)):
+        # Spectral radius >= 1: the target SINRs are jointly unachievable.
+        return np.full(n, np.inf)
+    return powers
+
+
+def minimal_power_assignment(
+    links: Sequence[Link],
+    gains: np.ndarray,
+    noise_power_w: float,
+    sinr_threshold: float,
+    max_power_w: Dict[NodeId, float],
+    priority: Dict[Link, float] | None = None,
+) -> PowerControlResult:
+    """Assign minimal feasible powers, dropping links as needed.
+
+    Args:
+        links: co-band links to power-control.
+        gains: ``(N, N)`` gain matrix.
+        noise_power_w: thermal-noise power ``eta * W_m(t)`` (W).
+        sinr_threshold: target SINR ``Gamma``.
+        max_power_w: per-transmitter power cap.
+        priority: higher-priority links are kept longer when dropping;
+            defaults to equal priority (then the most over-cap link is
+            dropped first).
+
+    Returns:
+        :class:`PowerControlResult` with exact minimal powers for the
+        surviving set and the list of dropped links.
+    """
+    active = list(links)
+    result = PowerControlResult()
+    priorities = priority or {}
+
+    while active:
+        powers = _solve_min_powers(active, gains, noise_power_w, sinr_threshold)
+        caps = np.array([max_power_w[tx] for tx, _ in active])
+        over = powers / caps  # > 1 means the cap is violated (inf if infeasible)
+        if np.all(over <= 1.0 + 1e-12):
+            for link, power in zip(active, powers):
+                result.powers[link] = float(power)
+            return result
+        # Drop the worst offender, breaking ties toward lowest priority.
+        worst = max(
+            range(len(active)),
+            key=lambda l: (over[l], -priorities.get(active[l], 0.0)),
+        )
+        if np.isinf(over[worst]):
+            # Joint infeasibility: every row is inf, so use priority alone.
+            worst = min(
+                range(len(active)),
+                key=lambda l: priorities.get(active[l], 0.0),
+            )
+        result.dropped.append(active.pop(worst))
+
+    return result

@@ -1,0 +1,50 @@
+"""Power propagation gain model: ``g_ij = C * d(i, j)^-gamma``.
+
+This is the widely used distance-based path-loss model the paper adopts
+(Section II-B).  Distances below ``MIN_DISTANCE_M`` are clamped so the
+far-field model is never evaluated in its singular near-field region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Distances are clamped to this floor (metres) before applying the
+#: far-field path-loss law; ``d^-gamma`` diverges as d -> 0.
+MIN_DISTANCE_M: float = 1.0
+
+
+def propagation_gain(distance_m: float, constant: float, exponent: float) -> float:
+    """Gain between two nodes separated by ``distance_m`` metres.
+
+    Args:
+        distance_m: Euclidean distance (m); clamped to ``MIN_DISTANCE_M``.
+        constant: the antenna/wavelength constant ``C``.
+        exponent: path-loss exponent ``gamma``.
+
+    Returns:
+        The dimensionless power gain ``C * d^-gamma``.
+    """
+    if constant <= 0:
+        raise ValueError(f"propagation constant must be positive, got {constant}")
+    if exponent <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {exponent}")
+    clamped = max(distance_m, MIN_DISTANCE_M)
+    return constant * clamped**-exponent
+
+
+def gain_matrix(
+    distances_m: np.ndarray, constant: float, exponent: float
+) -> np.ndarray:
+    """Vectorised :func:`propagation_gain` over a distance matrix.
+
+    The diagonal (self-distance 0) is clamped like every other entry;
+    callers never use self-gains, but keeping them finite avoids NaN
+    propagation in vectorised interference sums.
+    """
+    if constant <= 0:
+        raise ValueError(f"propagation constant must be positive, got {constant}")
+    if exponent <= 0:
+        raise ValueError(f"path-loss exponent must be positive, got {exponent}")
+    clamped = np.maximum(np.asarray(distances_m, dtype=float), MIN_DISTANCE_M)
+    return constant * clamped**-exponent

@@ -1,0 +1,25 @@
+"""Queueing substrate: data/virtual/energy queues and stability tools."""
+
+from repro.queueing.data_queue import DataQueue, DataQueueBank
+from repro.queueing.virtual_queue import LinkVirtualQueue, VirtualQueueBank
+from repro.queueing.energy_queue import ShiftedEnergyQueue
+from repro.queueing.stability import (
+    StabilityReport,
+    StabilityVerdict,
+    assess_strong_stability,
+    is_rate_stable_sample_path,
+)
+from repro.queueing.backlog import BacklogSnapshot
+
+__all__ = [
+    "DataQueue",
+    "DataQueueBank",
+    "LinkVirtualQueue",
+    "VirtualQueueBank",
+    "ShiftedEnergyQueue",
+    "StabilityReport",
+    "StabilityVerdict",
+    "assess_strong_stability",
+    "is_rate_stable_sample_path",
+    "BacklogSnapshot",
+]

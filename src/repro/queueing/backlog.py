@@ -1,0 +1,69 @@
+"""Aggregated backlog snapshots used by the metrics collector.
+
+The evaluation figures plot four aggregates per slot: total data-queue
+backlog of base stations and of users (Figs. 2b/2c), and total battery
+energy of base stations and of users (Figs. 2d/2e).  A
+:class:`BacklogSnapshot` freezes those aggregates, plus the virtual-
+queue total, for one slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Tuple
+
+from repro.types import Link, NodeId, SessionId
+
+
+@dataclass(frozen=True)
+class BacklogSnapshot:
+    """All queue aggregates of one slot.
+
+    Attributes:
+        slot: slot index ``t``.
+        bs_data_packets: total ``Q_i^s`` over base stations (Fig. 2b).
+        user_data_packets: total ``Q_i^s`` over users (Fig. 2c).
+        bs_energy_j: total battery level over base stations (Fig. 2d).
+        user_energy_j: total battery level over users (Fig. 2e).
+        virtual_packets: total ``G_ij`` over links.
+    """
+
+    slot: int
+    bs_data_packets: float
+    user_data_packets: float
+    bs_energy_j: float
+    user_energy_j: float
+    virtual_packets: float
+
+    @property
+    def total_data_packets(self) -> float:
+        """Network-wide data backlog."""
+        return self.bs_data_packets + self.user_data_packets
+
+    @property
+    def total_energy_j(self) -> float:
+        """Network-wide stored energy."""
+        return self.bs_energy_j + self.user_energy_j
+
+
+def make_snapshot(
+    slot: int,
+    data_backlogs: Mapping[Tuple[NodeId, SessionId], float],
+    battery_levels: Mapping[NodeId, float],
+    virtual_backlogs: Mapping[Link, float],
+    bs_ids: Iterable[NodeId],
+) -> BacklogSnapshot:
+    """Aggregate raw backlogs into one :class:`BacklogSnapshot`."""
+    bs_set = set(bs_ids)
+    bs_data = sum(v for (node, _), v in data_backlogs.items() if node in bs_set)
+    user_data = sum(v for (node, _), v in data_backlogs.items() if node not in bs_set)
+    bs_energy = sum(v for node, v in battery_levels.items() if node in bs_set)
+    user_energy = sum(v for node, v in battery_levels.items() if node not in bs_set)
+    return BacklogSnapshot(
+        slot=slot,
+        bs_data_packets=bs_data,
+        user_data_packets=user_data,
+        bs_energy_j=bs_energy,
+        user_energy_j=user_energy,
+        virtual_packets=sum(virtual_backlogs.values()),
+    )

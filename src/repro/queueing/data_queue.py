@@ -1,0 +1,161 @@
+"""Per-node per-session data queues ``Q_i^s`` (Eq. 15).
+
+The queueing law is
+
+    Q_i^s(t+1) = max(Q_i^s(t) - sum_j l_ij^s(t), 0)
+                 + sum_j l_ji^s(t) + k_s(t) * 1[i = s_s(t)],
+
+with the destination node keeping no queue (delivered packets leave the
+network immediately).  Two transfer semantics are supported (see
+``QueueSemantics``): the paper's null-packet idealisation credits the
+receiver with the full scheduled rate; the packet-accurate mode credits
+only what the transmitter really held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import QueueError
+from repro.types import NodeId, QueueSemantics, SessionId
+
+
+@dataclass
+class DataQueue:
+    """One ``Q_i^s`` backlog counter (packets)."""
+
+    node: NodeId
+    session: SessionId
+    backlog: float = 0.0
+
+    def step(self, service: float, arrivals: float) -> float:
+        """Advance Eq. (15) by one slot and return the new backlog."""
+        if service < 0:
+            raise QueueError(
+                f"negative service {service} at Q[{self.node}][{self.session}]"
+            )
+        if arrivals < 0:
+            raise QueueError(
+                f"negative arrivals {arrivals} at Q[{self.node}][{self.session}]"
+            )
+        self.backlog = max(self.backlog - service, 0.0) + arrivals
+        return self.backlog
+
+
+class DataQueueBank:
+    """All data queues of the network, with the slot-update logic.
+
+    Destinations are excluded: the paper's destination node ``d_s``
+    passes packets straight to the upper layers.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        session_destinations: Mapping[SessionId, NodeId],
+        semantics: QueueSemantics = QueueSemantics.PAPER,
+    ) -> None:
+        self._destinations = dict(session_destinations)
+        self._semantics = semantics
+        self._queues: Dict[Tuple[NodeId, SessionId], DataQueue] = {}
+        for node in nodes:
+            for session, dest in self._destinations.items():
+                if node != dest:
+                    self._queues[(node, session)] = DataQueue(node, session)
+
+    @property
+    def semantics(self) -> QueueSemantics:
+        """The transfer-accounting mode in force."""
+        return self._semantics
+
+    def backlog(self, node: NodeId, session: SessionId) -> float:
+        """``Q_i^s(t)``; destinations report a permanent 0."""
+        if self._destinations.get(session) == node:
+            return 0.0
+        try:
+            return self._queues[(node, session)].backlog
+        except KeyError:
+            raise QueueError(f"no queue for node {node}, session {session}") from None
+
+    def has_queue(self, node: NodeId, session: SessionId) -> bool:
+        """True unless ``node`` is the destination of ``session``."""
+        return (node, session) in self._queues
+
+    def total_backlog(self, nodes: Iterable[NodeId]) -> float:
+        """Sum of backlogs over ``nodes`` and all sessions."""
+        node_set = set(nodes)
+        return sum(
+            q.backlog for (node, _), q in self._queues.items() if node in node_set
+        )
+
+    def snapshot(self) -> Dict[Tuple[NodeId, SessionId], float]:
+        """A copy of every backlog, keyed by ``(node, session)``."""
+        return {key: q.backlog for key, q in self._queues.items()}
+
+    def effective_rates(
+        self, rates: Mapping[Tuple[NodeId, NodeId, SessionId], float]
+    ) -> Dict[Tuple[NodeId, NodeId, SessionId], float]:
+        """Transfer rates after applying the configured semantics.
+
+        In ``PAPER`` mode the scheduled rates pass through unchanged.
+        In ``PACKET_ACCURATE`` mode each transmitter's outgoing rates
+        for a session are scaled down proportionally so their sum never
+        exceeds its backlog.
+        """
+        if self._semantics is QueueSemantics.PAPER:
+            return dict(rates)
+
+        outgoing: Dict[Tuple[NodeId, SessionId], float] = {}
+        for (tx, _rx, session), rate in rates.items():
+            key = (tx, session)
+            outgoing[key] = outgoing.get(key, 0.0) + rate
+
+        effective: Dict[Tuple[NodeId, NodeId, SessionId], float] = {}
+        for (tx, rx, session), rate in rates.items():
+            total = outgoing[(tx, session)]
+            if total <= 0:
+                effective[(tx, rx, session)] = 0.0
+                continue
+            available = self.backlog(tx, session)
+            scale = min(1.0, available / total)
+            effective[(tx, rx, session)] = rate * scale
+        return effective
+
+    def step(
+        self,
+        rates: Mapping[Tuple[NodeId, NodeId, SessionId], float],
+        admissions: Mapping[SessionId, Iterable[Tuple[NodeId, float]]],
+    ) -> Dict[Tuple[NodeId, SessionId], float]:
+        """Advance every queue one slot.
+
+        Args:
+            rates: scheduled per-link per-session rates
+                ``l_ij^s(t)`` keyed by ``(tx, rx, session)`` (packets).
+            admissions: per-session lists of ``(source_bs, k)`` arrival
+                pairs (a single pair for the integral algorithm; the
+                relaxed LP bound may split across base stations).
+
+        Returns:
+            The new backlogs, keyed like :meth:`snapshot`.
+        """
+        transfer = self.effective_rates(rates)
+
+        service: Dict[Tuple[NodeId, SessionId], float] = {}
+        arrivals: Dict[Tuple[NodeId, SessionId], float] = {}
+        for (tx, rx, session), rate in transfer.items():
+            service[(tx, session)] = service.get((tx, session), 0.0) + rate
+            arrivals[(rx, session)] = arrivals.get((rx, session), 0.0) + rate
+        for session, pairs in admissions.items():
+            for source, admitted in pairs:
+                if admitted < 0:
+                    raise QueueError(
+                        f"negative admission {admitted} for session {session}"
+                    )
+                arrivals[(source, session)] = (
+                    arrivals.get((source, session), 0.0) + admitted
+                )
+
+        for key, queue in self._queues.items():
+            queue.step(service.get(key, 0.0), arrivals.get(key, 0.0))
+        return self.snapshot()

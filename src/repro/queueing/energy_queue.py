@@ -1,0 +1,95 @@
+"""Shifted battery queues ``z_i(t)`` (Eq. 31).
+
+The drift analysis replaces each battery level ``x_i(t)`` by the shifted
+variable
+
+    z_i(t) = x_i(t) - V * gamma_max - d_max_i,
+
+which follows the same increments ``z(t+1) = z(t) + c(t) - d(t)`` but is
+centred so that the drift-optimal policy automatically keeps
+``0 <= x_i(t) <= x_max_i``.  The class tracks both views and asserts the
+affine relation as an invariant.
+"""
+
+from __future__ import annotations
+
+from repro.constants import FEASIBILITY_EPS
+from repro.exceptions import QueueError
+from repro.types import NodeId
+
+
+class ShiftedEnergyQueue:
+    """The ``z_i``/``x_i`` pair for one node's battery."""
+
+    def __init__(
+        self,
+        node: NodeId,
+        control_v: float,
+        gamma_max: float,
+        discharge_cap_j: float,
+        initial_level_j: float = 0.0,
+    ) -> None:
+        if control_v < 0:
+            raise QueueError(f"V must be non-negative, got {control_v}")
+        if gamma_max < 0:
+            raise QueueError(f"gamma_max must be non-negative, got {gamma_max}")
+        if discharge_cap_j < 0:
+            raise QueueError(
+                f"discharge cap must be non-negative, got {discharge_cap_j}"
+            )
+        self.node = node
+        self.shift_j = control_v * gamma_max + discharge_cap_j
+        self._level_j = initial_level_j
+
+    @property
+    def level_j(self) -> float:
+        """The physical battery level ``x_i(t)`` (J)."""
+        return self._level_j
+
+    @property
+    def z(self) -> float:
+        """The shifted level ``z_i(t) = x_i(t) - shift`` (J)."""
+        return self._level_j - self.shift_j
+
+    def step(self, charge_j: float, discharge_j: float) -> float:
+        """Advance Eq. (31) one slot; returns the new ``z_i``."""
+        if charge_j < 0 or discharge_j < 0:
+            raise QueueError(
+                f"negative battery action at node {self.node}: "
+                f"charge={charge_j}, discharge={discharge_j}"
+            )
+        if charge_j > FEASIBILITY_EPS and discharge_j > FEASIBILITY_EPS:
+            raise QueueError(
+                f"constraint (9) violated at node {self.node}: "
+                "simultaneous charge and discharge"
+            )
+        self._level_j += charge_j - discharge_j
+        return self.z
+
+    def observe_level(self, level_j: float) -> None:
+        """Adopt the battery's authoritative post-update level.
+
+        Used by the simulator: the battery applies the (possibly
+        lossy, Eq.-4-with-efficiencies) update and this queue mirrors
+        it, so ``z`` always equals ``x - shift`` exactly.  Constraint
+        (9) is enforced upstream by :class:`BatteryAction`.
+        """
+        if level_j < -1e-9:
+            raise QueueError(
+                f"negative battery level {level_j} at node {self.node}"
+            )
+        self._level_j = max(level_j, 0.0)
+
+    def sync_level(self, level_j: float) -> None:
+        """Re-anchor to the battery's authoritative level.
+
+        The :class:`~repro.energy.battery.Battery` clamps round-off at
+        its bounds; calling this after ``Battery.apply`` keeps the two
+        views bit-identical.
+        """
+        if abs(level_j - self._level_j) > 1e-3:
+            raise QueueError(
+                f"energy-queue divergence at node {self.node}: "
+                f"battery={level_j} J, queue={self._level_j} J"
+            )
+        self._level_j = level_j

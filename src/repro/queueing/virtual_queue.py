@@ -1,0 +1,101 @@
+"""Link-layer virtual queues ``G_ij`` and ``H_ij`` (Eqs. 28 and 30).
+
+``G_ij`` buffers packets committed to link ``(i, j)`` by the router and
+drains at the link's realised service rate.  ``H_ij = beta * G_ij``
+with ``beta = max_ij (c_max_ij * delta_t / delta)`` is the scaled copy
+whose strong stability the drift analysis tracks; keeping both updated
+in lock-step (rather than deriving one from the other at read time)
+mirrors the paper's formulation and keeps the invariant testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
+
+from repro.exceptions import QueueError
+from repro.types import Link
+
+
+@dataclass
+class LinkVirtualQueue:
+    """The ``G_ij``/``H_ij`` pair for one directed link."""
+
+    link: Link
+    beta: float
+    g_backlog: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise QueueError(f"beta must be positive, got {self.beta}")
+
+    @property
+    def h_backlog(self) -> float:
+        """``H_ij(t) = beta * G_ij(t)`` (Eq. 30)."""
+        return self.beta * self.g_backlog
+
+    def step(self, arrivals_pkts: float, service_pkts: float) -> float:
+        """Advance Eq. (28) one slot; returns the new ``G_ij``."""
+        if arrivals_pkts < 0:
+            raise QueueError(f"negative arrivals {arrivals_pkts} at G{self.link}")
+        if service_pkts < 0:
+            raise QueueError(f"negative service {service_pkts} at G{self.link}")
+        self.g_backlog = max(self.g_backlog - service_pkts, 0.0) + arrivals_pkts
+        return self.g_backlog
+
+
+class VirtualQueueBank:
+    """All per-link virtual queues of the network."""
+
+    def __init__(self, links: Iterable[Link], beta: float) -> None:
+        if beta <= 0:
+            raise QueueError(f"beta must be positive, got {beta}")
+        self.beta = beta
+        self._queues: Dict[Link, LinkVirtualQueue] = {
+            link: LinkVirtualQueue(link=link, beta=beta) for link in links
+        }
+
+    def g(self, link: Link) -> float:
+        """``G_ij(t)`` for one link."""
+        try:
+            return self._queues[link].g_backlog
+        except KeyError:
+            raise QueueError(f"no virtual queue for link {link}") from None
+
+    def h(self, link: Link) -> float:
+        """``H_ij(t)`` for one link."""
+        try:
+            return self._queues[link].h_backlog
+        except KeyError:
+            raise QueueError(f"no virtual queue for link {link}") from None
+
+    def total_g(self) -> float:
+        """Sum of all ``G_ij(t)`` backlogs."""
+        return sum(q.g_backlog for q in self._queues.values())
+
+    def total_h(self) -> float:
+        """Sum of all ``H_ij(t)`` backlogs."""
+        return sum(q.h_backlog for q in self._queues.values())
+
+    def snapshot(self) -> Dict[Link, float]:
+        """A copy of every ``G_ij`` backlog."""
+        return {link: q.g_backlog for link, q in self._queues.items()}
+
+    def step(
+        self,
+        arrivals_pkts: Mapping[Link, float],
+        service_pkts: Mapping[Link, float],
+    ) -> Dict[Link, float]:
+        """Advance every virtual queue one slot.
+
+        Args:
+            arrivals_pkts: per-link routed packets ``sum_s l_ij^s(t)``.
+            service_pkts: per-link service
+                ``(1/delta) sum_m c_ij^m(t) a_ij^m(t) delta_t``.
+
+        Returns:
+            The new ``G`` backlogs.
+        """
+        for link, queue in self._queues.items():
+            queue.step(arrivals_pkts.get(link, 0.0), service_pkts.get(link, 0.0))
+        return self.snapshot()

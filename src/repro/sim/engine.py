@@ -1,0 +1,185 @@
+"""The slot-based simulation engine.
+
+``SlotSimulator`` wires a scenario into a model, Lyapunov constants,
+network state and a controller, then advances the slotted loop:
+
+    observe -> decide (S1-S4 or relaxed LP) -> apply -> record.
+
+Construct with :meth:`SlotSimulator.integral` (the paper's
+decomposition algorithm), :meth:`SlotSimulator.relaxed` (the exact
+per-slot LP of the lower bound), or pass any object with a
+``decide(observation, state)`` method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.config.parameters import ScenarioParameters
+from repro.control.controller import DriftPlusPenaltyController
+from repro.control.decisions import SlotDecision, SlotObservation
+from repro.control.router import RouterMode
+from repro.core.bounds import RelaxedLpController
+from repro.core.lyapunov import LyapunovConstants, compute_constants
+from repro.model import NetworkModel, build_network_model
+from repro.sim.metrics import MetricsCollector
+from repro.sim.results import SimulationResult
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+from repro.state import NetworkState
+from repro.types import EnergySolverKind, SchedulerKind
+
+
+class Controller(Protocol):
+    """Anything the engine can drive (duck-typed controller)."""
+
+    last_deficit_j: dict
+
+    def decide(
+        self, observation: SlotObservation, state: "NetworkState"
+    ) -> SlotDecision:  # pragma: no cover - protocol
+        ...
+
+
+#: Factory building a controller for an assembled model.
+ControllerFactory = Callable[
+    [NetworkModel, LyapunovConstants, RngStreams], Controller
+]
+
+
+class SlotSimulator:
+    """One scenario wired up and ready to run."""
+
+    def __init__(
+        self,
+        params: ScenarioParameters,
+        controller_factory: ControllerFactory,
+        enforce_complementarity: bool = True,
+    ) -> None:
+        self.params = params
+        self.rng = RngStreams(params.seed)
+        self.model = build_network_model(params, self.rng.topology)
+        self.constants = compute_constants(self.model)
+        self.state = NetworkState(self.model, self.constants, self.rng.environment)
+        self.controller = controller_factory(self.model, self.constants, self.rng)
+        self._enforce_complementarity = enforce_complementarity
+        self.metrics = MetricsCollector(
+            params.admission_lambda, bs_ids=self.model.bs_ids
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def integral(
+        cls,
+        params: ScenarioParameters,
+        scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
+        energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
+        router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+    ) -> "SlotSimulator":
+        """The paper's decomposition controller (Section IV-C)."""
+
+        def factory(
+            model: NetworkModel, constants: LyapunovConstants, rng: RngStreams
+        ) -> Controller:
+            return DriftPlusPenaltyController(
+                model,
+                constants,
+                rng.controller,
+                scheduler_kind=scheduler_kind,
+                energy_solver=energy_solver,
+                router_mode=router_mode,
+            )
+
+        return cls(params, factory)
+
+    @classmethod
+    def relaxed(
+        cls, params: ScenarioParameters, num_cost_segments: int = 24
+    ) -> "SlotSimulator":
+        """The exact relaxed-LP controller of the Theorem-5 bound."""
+
+        def factory(
+            model: NetworkModel, constants: LyapunovConstants, rng: RngStreams
+        ) -> Controller:
+            del rng  # the LP is deterministic
+            return RelaxedLpController(
+                model, constants, num_cost_segments=num_cost_segments
+            )
+
+        return cls(params, factory, enforce_complementarity=False)
+
+    # -- running -------------------------------------------------------------
+
+    def _delivered_per_session(self, decision: SlotDecision) -> dict:
+        """Per-session packets arriving at destinations this slot.
+
+        Uses the *effective* transfer rates under the configured queue
+        semantics: in the paper's null-packet mode these equal the
+        scheduled rates; in packet-accurate mode phantom deliveries
+        (rates exceeding the transmitter's real backlog) are excluded.
+        """
+        destinations = self.model.session_destinations()
+        effective = self.state.data_queues.effective_rates(
+            decision.routing.rates
+        )
+        delivered = {sid: 0.0 for sid in destinations}
+        for (tx, rx, sid), rate in effective.items():
+            if rx == destinations[sid]:
+                delivered[sid] += rate
+        return delivered
+
+    def step(self, slot: int, trace: Optional[TraceRecorder] = None) -> SlotDecision:
+        """Advance the simulation by one slot."""
+        observation = self.state.observe(slot)
+        decision = self.controller.decide(observation, self.state)
+        snapshot = self.state.apply(
+            decision,
+            slot,
+            enforce_complementarity=self._enforce_complementarity,
+        )
+        deficit = sum(getattr(self.controller, "last_deficit_j", {}).values())
+        per_session = self._delivered_per_session(decision)
+        metrics = self.metrics.record(
+            slot=slot,
+            decision=decision,
+            snapshot=snapshot,
+            deficit_j=deficit,
+            delivered_pkts=sum(per_session.values()),
+            session_delivered=per_session,
+        )
+        if trace is not None:
+            trace.record_slot(observation, decision, metrics)
+        return decision
+
+    def run(
+        self,
+        num_slots: Optional[int] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> SimulationResult:
+        """Run the full horizon and return the result."""
+        horizon = num_slots if num_slots is not None else self.params.num_slots
+        for slot in range(horizon):
+            self.step(slot, trace=trace)
+        return SimulationResult(
+            control_v=self.params.control_v,
+            num_slots=horizon,
+            metrics=self.metrics,
+            constants=self.constants,
+        )
+
+
+def run_simulation(
+    params: ScenarioParameters,
+    scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
+    energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
+    router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+) -> SimulationResult:
+    """One-call convenience: build the integral simulator and run it."""
+    simulator = SlotSimulator.integral(
+        params,
+        scheduler_kind=scheduler_kind,
+        energy_solver=energy_solver,
+        router_mode=router_mode,
+    )
+    return simulator.run()

@@ -1,0 +1,52 @@
+"""Deterministic, stream-separated random number generation.
+
+A single scenario seed fans out into independent named streams — one
+for topology/placement, one for the stochastic environment (bandwidths,
+renewables, grid connectivity), one for controller tie-breaking — via
+``numpy``'s ``SeedSequence.spawn``.  Two runs that share a seed see the
+*identical* environment sample path even if their controllers draw a
+different number of tie-break variates, which is what makes the
+upper/lower bound and architecture comparisons paired comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: The canonical stream names, in spawn order (order is part of the
+#: reproducibility contract — do not reorder).
+STREAM_NAMES = ("topology", "environment", "controller")
+
+
+class RngStreams:
+    """Named, independent RNG streams derived from one seed."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        root = np.random.SeedSequence(seed)
+        children = root.spawn(len(STREAM_NAMES))
+        self._streams: Dict[str, np.random.Generator] = {
+            name: np.random.default_rng(child)
+            for name, child in zip(STREAM_NAMES, children)
+        }
+
+    @property
+    def topology(self) -> np.random.Generator:
+        """Placement, spectrum access sets, session destinations."""
+        return self._streams["topology"]
+
+    @property
+    def environment(self) -> np.random.Generator:
+        """Bandwidths, renewable outputs, grid connectivity."""
+        return self._streams["environment"]
+
+    @property
+    def controller(self) -> np.random.Generator:
+        """Controller tie-breaking (source/session random picks)."""
+        return self._streams["controller"]
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A stream by name; raises ``KeyError`` for unknown names."""
+        return self._streams[name]

@@ -1,0 +1,20 @@
+"""Numerical solvers: LP builder, sequential-fix, bisection, QP."""
+
+from repro.solvers.linprog import (
+    Constraint,
+    LinearProgram,
+    LPSolution,
+    Sense,
+)
+from repro.solvers.sequential_fix import sequential_fix
+from repro.solvers.bisection import bisect_root, minimize_convex_1d
+
+__all__ = [
+    "Constraint",
+    "LinearProgram",
+    "LPSolution",
+    "Sense",
+    "sequential_fix",
+    "bisect_root",
+    "minimize_convex_1d",
+]

@@ -1,0 +1,91 @@
+"""One-dimensional solvers: monotone root bisection and golden-section.
+
+The S4 price-decomposition solver reduces the coupled energy-management
+program to a fixed point in the marginal grid price; these routines are
+the numerical workhorses behind it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.exceptions import SolverError
+
+#: Golden-ratio constant for the section search.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def bisect_root(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Root of a monotone (non-decreasing) function on ``[lo, hi]``.
+
+    If ``func`` has no sign change on the interval the nearer endpoint
+    is returned — for monotone response curves that endpoint is the
+    constrained optimum, which is exactly the semantics the S4 solver
+    needs.
+
+    Raises:
+        SolverError: if ``lo > hi``.
+    """
+    if lo > hi:
+        raise SolverError(f"empty interval [{lo}, {hi}]")
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo >= 0.0:
+        return lo
+    if f_hi <= 0.0:
+        return hi
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        f_mid = func(mid)
+        if abs(f_mid) <= tol or (hi - lo) <= tol * max(1.0, abs(mid)):
+            return mid
+        if f_mid < 0.0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def minimize_convex_1d(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Golden-section minimiser for a unimodal function on ``[lo, hi]``.
+
+    Returns:
+        The abscissa of the (approximate) minimum.
+
+    Raises:
+        SolverError: if ``lo > hi``.
+    """
+    if lo > hi:
+        raise SolverError(f"empty interval [{lo}, {hi}]")
+    if hi - lo <= tol:
+        return 0.5 * (lo + hi)
+
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    f1 = func(x1)
+    f2 = func(x2)
+    for _ in range(max_iterations):
+        if hi - lo <= tol * max(1.0, abs(lo) + abs(hi)):
+            break
+        if f1 <= f2:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - _INV_PHI * (hi - lo)
+            f1 = func(x1)
+        else:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + _INV_PHI * (hi - lo)
+            f2 = func(x2)
+    return 0.5 * (lo + hi)

@@ -1,0 +1,216 @@
+"""A named-variable linear-program builder over ``scipy``'s HiGHS.
+
+The scheduling and bound subproblems are naturally expressed over
+variables indexed by structured keys (``(i, j, m)`` link-band triples,
+``(i, j, s)`` routing triples).  ``LinearProgram`` lets callers build
+the model in those terms and converts to the sparse matrix form
+``scipy.optimize.linprog`` expects.  Minimisation only, like scipy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, SolverError
+
+#: Variables are identified by arbitrary hashable keys.
+VarKey = Hashable
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One linear constraint ``sum coeffs[v] * v  <sense>  rhs``."""
+
+    coeffs: Mapping[VarKey, float]
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class LPSolution:
+    """Result of an LP solve.
+
+    Attributes:
+        objective: optimal objective value.
+        values: optimal value per variable key.
+    """
+
+    objective: float
+    values: Dict[VarKey, float] = field(default_factory=dict)
+
+    def value(self, key: VarKey) -> float:
+        """Value of one variable."""
+        return self.values[key]
+
+
+class LinearProgram:
+    """Incrementally built minimisation LP with named variables."""
+
+    def __init__(self) -> None:
+        self._objective: Dict[VarKey, float] = {}
+        self._bounds: Dict[VarKey, Tuple[float, Optional[float]]] = {}
+        self._order: List[VarKey] = []
+        self._constraints: List[Constraint] = []
+
+    @property
+    def num_variables(self) -> int:
+        """Number of declared variables."""
+        return len(self._order)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of added constraints."""
+        return len(self._constraints)
+
+    def add_variable(
+        self,
+        key: VarKey,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+    ) -> VarKey:
+        """Declare a variable with its objective coefficient and bounds.
+
+        Raises:
+            SolverError: if ``key`` was already declared.
+        """
+        if key in self._objective:
+            raise SolverError(f"variable {key!r} declared twice")
+        if upper is not None and upper < lower:
+            raise SolverError(
+                f"variable {key!r} has empty bound interval [{lower}, {upper}]"
+            )
+        self._objective[key] = objective
+        self._bounds[key] = (lower, upper)
+        self._order.append(key)
+        return key
+
+    def has_variable(self, key: VarKey) -> bool:
+        """True if ``key`` was declared."""
+        return key in self._objective
+
+    def fix_variable(self, key: VarKey, value: float) -> None:
+        """Pin an existing variable to a single value."""
+        if key not in self._objective:
+            raise SolverError(f"unknown variable {key!r}")
+        self._bounds[key] = (value, value)
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[VarKey, float],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> None:
+        """Add a linear constraint over declared variables.
+
+        Variables in ``coeffs`` that were never declared raise; zero
+        coefficients are dropped.
+        """
+        clean = {k: v for k, v in coeffs.items() if v != 0.0}
+        unknown = [k for k in clean if k not in self._objective]
+        if unknown:
+            raise SolverError(f"constraint {name!r} uses unknown variables {unknown}")
+        self._constraints.append(Constraint(clean, sense, rhs, name))
+
+    def solve(self) -> LPSolution:
+        """Solve with HiGHS and return the solution.
+
+        Raises:
+            InfeasibleError: primal infeasible (or unbounded, which for
+                our bounded formulations always indicates a modelling
+                bug upstream).
+            SolverError: any other solver failure.
+        """
+        if not self._order:
+            return LPSolution(objective=0.0)
+
+        index = {key: i for i, key in enumerate(self._order)}
+        cost = np.array([self._objective[k] for k in self._order])
+
+        ub_rows: List[Tuple[Dict[VarKey, float], float]] = []
+        eq_rows: List[Tuple[Dict[VarKey, float], float]] = []
+        for con in self._constraints:
+            if con.sense is Sense.LE:
+                ub_rows.append((dict(con.coeffs), con.rhs))
+            elif con.sense is Sense.GE:
+                negated = {k: -v for k, v in con.coeffs.items()}
+                ub_rows.append((negated, -con.rhs))
+            else:
+                eq_rows.append((dict(con.coeffs), con.rhs))
+
+        def to_matrix(
+            rows: List[Tuple[Dict[VarKey, float], float]]
+        ) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray]]:
+            if not rows:
+                return None, None
+            data, row_idx, col_idx, rhs = [], [], [], []
+            for r, (coeffs, bound) in enumerate(rows):
+                # Row equilibration: physical-model rows mix propagation
+                # gains (~1e-12) with big-M constants (~10), which makes
+                # HiGHS mis-declare feasible systems infeasible.  Scaling
+                # a row by its largest coefficient is an exact
+                # reformulation.
+                scale = max((abs(c) for c in coeffs.values()), default=0.0)
+                if scale <= 0.0:
+                    scale = 1.0
+                rhs.append(bound / scale)
+                for key, coeff in coeffs.items():
+                    data.append(coeff / scale)
+                    row_idx.append(r)
+                    col_idx.append(index[key])
+            matrix = sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), len(self._order))
+            )
+            return matrix, np.array(rhs)
+
+        a_ub, b_ub = to_matrix(ub_rows)
+        a_eq, b_eq = to_matrix(eq_rows)
+        bounds = [self._bounds[k] for k in self._order]
+
+        # Normalise the objective: drift coefficients can span 12+
+        # orders of magnitude (the beta^2-scaled virtual-queue terms),
+        # which trips HiGHS's simplex numerics.  Scaling the objective
+        # leaves the argmin unchanged; the true value is restored below.
+        scale = float(np.abs(cost).max())
+        if scale <= 0.0:
+            scale = 1.0
+
+        result = None
+        for method in ("highs", "highs-ipm"):
+            result = linprog(
+                c=cost / scale,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=bounds,
+                method=method,
+            )
+            if result.status in (0, 2, 3):
+                break
+        assert result is not None
+        if result.status == 2:
+            raise InfeasibleError("linear program is infeasible")
+        if result.status == 3:
+            raise InfeasibleError("linear program is unbounded")
+        if not result.success:
+            raise SolverError(f"linprog failed: {result.message}")
+
+        values = {key: float(result.x[index[key]]) for key in self._order}
+        return LPSolution(objective=float(result.fun) * scale, values=values)

@@ -1,0 +1,288 @@
+"""Mutable per-run network state: all queues, batteries, and processes.
+
+``NetworkState`` owns every stateful object of one simulation run —
+data queues, link virtual queues, batteries with their shifted energy
+queues, grid connections and renewable processes — and provides the
+read accessors the controller needs plus the apply/advance methods the
+simulator calls at the end of each slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.control.decisions import SlotDecision, SlotObservation
+from repro.core.lyapunov import LyapunovConstants
+from repro.energy.battery import Battery, BatteryAction
+from repro.energy.grid import GridConnection
+from repro.energy.renewable import (
+    DiurnalSolarProcess,
+    MarkovWindProcess,
+    RenewableProcess,
+    UniformRenewableProcess,
+    ZeroRenewableProcess,
+)
+from repro.model import NetworkModel
+from repro.network.mobility import (
+    MobilityModel,
+    RandomWaypointMobility,
+    StaticMobility,
+    gain_matrix_for_positions,
+)
+from repro.queueing.backlog import BacklogSnapshot, make_snapshot
+from repro.queueing.data_queue import DataQueueBank
+from repro.queueing.energy_queue import ShiftedEnergyQueue
+from repro.queueing.virtual_queue import VirtualQueueBank
+from repro.types import Link, MobilityKind, NodeId, RenewableKind, SessionId
+
+
+def _build_renewable(
+    kind: RenewableKind,
+    max_power_w: float,
+    slot_seconds: float,
+    rng: np.random.Generator,
+) -> RenewableProcess:
+    """Instantiate the configured renewable process for one node."""
+    if kind is RenewableKind.ZERO or max_power_w <= 0:
+        return ZeroRenewableProcess()
+    if kind is RenewableKind.UNIFORM:
+        return UniformRenewableProcess(max_power_w, slot_seconds, rng)
+    if kind is RenewableKind.SOLAR:
+        return DiurnalSolarProcess(max_power_w, slot_seconds, rng)
+    if kind is RenewableKind.WIND:
+        return MarkovWindProcess(max_power_w, slot_seconds, rng)
+    raise ValueError(f"unknown renewable kind {kind!r}")
+
+
+class NetworkState:
+    """All mutable state of one simulation run."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        constants: LyapunovConstants,
+        rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.constants = constants
+        params = model.params
+
+        # One independent child generator per stochastic component
+        # (bands, then per-node renewable and grid), in a fixed order.
+        # Components that happen to draw nothing (e.g. the zero
+        # renewable process of the no-renewable baselines) still own a
+        # stream, so disabling one component never shifts the sample
+        # path of any other — architecture comparisons stay paired.
+        children = rng.spawn(1 + 2 * model.num_nodes)
+        band_rng = children[0]
+        renewable_rngs = children[1 : 1 + model.num_nodes]
+        grid_rngs = children[1 + model.num_nodes :]
+        model.spectrum.reseed(band_rng)
+
+        # Dynamic spectrum availability (extension): spawned only when
+        # enabled so static scenarios keep their sample paths.
+        self.availability = None
+        if params.spectrum.dynamic_availability:
+            from repro.network.spectrum import MarkovBandAvailability
+
+            self.availability = MarkovBandAvailability(
+                users=model.user_ids,
+                random_bands=range(1, model.spectrum.num_bands),
+                rng=rng.spawn(1)[0],
+                on_prob=params.spectrum.availability_on_prob,
+                persistence=params.spectrum.availability_persistence,
+            )
+
+        # Mobility (extension): spawned only when enabled so static
+        # scenarios keep their historical sample paths.
+        initial_positions = [n.position for n in model.nodes]
+        if params.mobility is MobilityKind.RANDOM_WAYPOINT:
+            self.mobility: MobilityModel = RandomWaypointMobility(
+                initial=initial_positions,
+                mobile=list(model.user_ids),
+                area_side_m=params.area_side_m,
+                speed_range_mps=params.user_speed_range_mps,
+                slot_seconds=params.slot_seconds,
+                rng=rng.spawn(1)[0],
+            )
+        else:
+            self.mobility = StaticMobility(initial_positions)
+        self._gains_cache_slot = -1
+        self._gains_cache = None
+
+        self.data_queues = DataQueueBank(
+            nodes=range(model.num_nodes),
+            session_destinations=model.session_destinations(),
+            semantics=params.queue_semantics,
+        )
+        self.virtual_queues = VirtualQueueBank(
+            links=model.topology.candidate_links, beta=constants.beta
+        )
+
+        self.batteries: Dict[NodeId, Battery] = {}
+        self.energy_queues: Dict[NodeId, ShiftedEnergyQueue] = {}
+        self.grids: Dict[NodeId, GridConnection] = {}
+        self.renewables: Dict[NodeId, RenewableProcess] = {}
+        for node in model.nodes:
+            energy = node.energy
+            self.batteries[node.node_id] = Battery(
+                capacity_j=energy.battery_capacity_j,
+                charge_cap_j=energy.charge_cap_j,
+                discharge_cap_j=energy.discharge_cap_j,
+                charge_efficiency=energy.charge_efficiency,
+                discharge_efficiency=energy.discharge_efficiency,
+            )
+            self.energy_queues[node.node_id] = ShiftedEnergyQueue(
+                node=node.node_id,
+                control_v=params.control_v,
+                gamma_max=constants.gamma_max,
+                discharge_cap_j=energy.discharge_cap_j,
+            )
+            self.grids[node.node_id] = GridConnection(
+                draw_cap_j=energy.grid_cap_j,
+                connect_prob=energy.grid_connect_prob,
+                rng=grid_rngs[node.node_id],
+            )
+            if params.renewables_enabled:
+                kind = (
+                    params.bs_renewable_kind
+                    if node.is_base_station
+                    else params.user_renewable_kind
+                )
+            else:
+                kind = RenewableKind.ZERO
+            self.renewables[node.node_id] = _build_renewable(
+                kind,
+                energy.renewable_max_w,
+                params.slot_seconds,
+                renewable_rngs[node.node_id],
+            )
+
+    # ------------------------------------------------------------------
+    # Observation sampling
+    # ------------------------------------------------------------------
+
+    def _current_gains(self, slot: int):
+        """Per-slot gain matrix under mobility; None when static."""
+        if isinstance(self.mobility, StaticMobility):
+            return None
+        if slot != self._gains_cache_slot:
+            params = self.model.params
+            positions = self.mobility.positions_at(slot)
+            self._gains_cache = gain_matrix_for_positions(
+                positions, params.propagation_constant, params.path_loss_exponent
+            )
+            self._gains_cache_slot = slot
+        return self._gains_cache
+
+    def observe(self, slot: int) -> SlotObservation:
+        """Sample the slot's random state (bands, renewables, grid).
+
+        Sampling is idempotent per slot only for mobility (positions
+        are cached); band/renewable/grid draws advance their streams,
+        so the engine observes each slot exactly once.
+        """
+        band_access = None
+        if self.availability is not None:
+            self.availability.advance_to(slot)
+            band_access = self.availability.mask(
+                self.model.spectrum.access_sets()
+            )
+        return SlotObservation(
+            slot=slot,
+            bands=self.model.spectrum.sample(slot),
+            renewable_j={
+                node: process.sample(slot)
+                for node, process in self.renewables.items()
+            },
+            grid_connected={
+                node: grid.sample_connected(slot)
+                for node, grid in self.grids.items()
+            },
+            gains=self._current_gains(slot),
+            band_access=band_access,
+        )
+
+    # ------------------------------------------------------------------
+    # Read accessors for the controller
+    # ------------------------------------------------------------------
+
+    def backlog(self, node: NodeId, session: SessionId) -> float:
+        """``Q_i^s(t)``."""
+        return self.data_queues.backlog(node, session)
+
+    def h_backlogs(self) -> Dict[Link, float]:
+        """``H_ij(t)`` for every candidate link."""
+        return {
+            link: self.virtual_queues.h(link)
+            for link in self.model.topology.candidate_links
+        }
+
+    def z_values(self) -> Dict[NodeId, float]:
+        """``z_i(t)`` for every node."""
+        return {node: queue.z for node, queue in self.energy_queues.items()}
+
+    def battery_levels(self) -> Dict[NodeId, float]:
+        """``x_i(t)`` for every node."""
+        return {node: battery.level_j for node, battery in self.batteries.items()}
+
+    # ------------------------------------------------------------------
+    # Slot advance
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        decision: SlotDecision,
+        slot: int,
+        enforce_complementarity: bool = True,
+    ) -> BacklogSnapshot:
+        """Apply one slot's decision to every queue and battery.
+
+        Args:
+            decision: the controller's output for this slot.
+            slot: slot index (stamped on the snapshot).
+            enforce_complementarity: when False — used by the relaxed
+                LP bound, which drops constraint (9) — simultaneous
+                charge and discharge are netted before hitting the
+                battery, leaving the level trajectory identical.
+
+        Returns:
+            The post-update backlog snapshot for the metrics collector.
+        """
+        # Data queues (Eq. 15).
+        rates: Mapping[Tuple[NodeId, NodeId, SessionId], float] = (
+            decision.routing.rates
+        )
+        self.data_queues.step(rates, decision.admission.as_queue_arrivals())
+
+        # Virtual queues (Eqs. 28/30): arrivals are routed packets,
+        # service is the realised scheduled capacity.
+        self.virtual_queues.step(
+            arrivals_pkts=decision.routing.link_totals(),
+            service_pkts=decision.schedule.link_service_pkts,
+        )
+
+        # Batteries and shifted energy queues (Eqs. 4 and 31).  The
+        # allocation's discharge is *delivered* energy; the battery
+        # drains 1/eta_d of it.
+        for node, allocation in decision.energy.allocations.items():
+            battery = self.batteries[node]
+            charge = allocation.charge_j
+            drain = allocation.discharge_j / battery.discharge_efficiency
+            if not enforce_complementarity:
+                net = charge - drain
+                charge = max(net, 0.0)
+                drain = max(-net, 0.0)
+            action = BatteryAction(charge_j=charge, discharge_j=drain)
+            level = battery.apply(action)
+            self.energy_queues[node].observe_level(level)
+
+        return make_snapshot(
+            slot=slot,
+            data_backlogs=self.data_queues.snapshot(),
+            battery_levels=self.battery_levels(),
+            virtual_backlogs=self.virtual_queues.snapshot(),
+            bs_ids=self.model.bs_ids,
+        )

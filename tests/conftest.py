@@ -1,0 +1,51 @@
+"""Shared fixtures: tiny scenario, assembled model, live state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_scenario
+from repro.core import compute_constants
+from repro.model import build_network_model
+from repro.sim.rng import RngStreams
+from repro.state import NetworkState
+
+
+@pytest.fixture(scope="session")
+def tiny_params():
+    """The 1-BS / 4-user unit-test scenario."""
+    return tiny_scenario()
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_params):
+    """An assembled model for the tiny scenario (session-cached)."""
+    rng = np.random.default_rng(tiny_params.seed)
+    return build_network_model(tiny_params, rng)
+
+
+@pytest.fixture(scope="session")
+def tiny_constants(tiny_model):
+    """Lyapunov constants for the tiny model."""
+    return compute_constants(tiny_model)
+
+
+@pytest.fixture
+def tiny_state(tiny_model, tiny_constants):
+    """A fresh mutable state per test."""
+    return NetworkState(
+        tiny_model, tiny_constants, np.random.default_rng(99)
+    )
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams(tiny_params):
+    """Named RNG streams for the tiny scenario."""
+    return RngStreams(tiny_params.seed)

@@ -1,0 +1,313 @@
+"""Unit tests for S4 energy management, including the cross-check of
+the exact price-decomposition solver against scipy SLSQP."""
+
+import numpy as np
+import pytest
+
+from repro.control.energy_manager import (
+    EnergyManager,
+    NodeEnergyInputs,
+    _allocation_given_grid,
+    _charge_mode_allocation,
+    _node_response,
+    _serve_mode_allocation,
+)
+from repro.exceptions import InfeasibleError
+from repro.types import EnergySolverKind
+
+
+def _inputs(
+    node=0,
+    is_bs=True,
+    demand=100.0,
+    renewable=50.0,
+    connected=True,
+    grid_cap=1000.0,
+    charge_cap=200.0,
+    discharge_cap=200.0,
+    z=-500.0,
+):
+    return NodeEnergyInputs(
+        node=node,
+        is_base_station=is_bs,
+        demand_j=demand,
+        renewable_j=renewable,
+        grid_connected=connected,
+        grid_cap_j=grid_cap,
+        charge_cap_j=charge_cap,
+        discharge_cap_j=discharge_cap,
+        z=z,
+    )
+
+
+def _check_allocation(inputs, alloc):
+    """Every S4 node constraint on one allocation."""
+    assert alloc.renewable_serve_j >= -1e-9
+    assert alloc.renewable_charge_j >= -1e-9
+    assert alloc.grid_serve_j >= -1e-9
+    assert alloc.grid_charge_j >= -1e-9
+    assert alloc.discharge_j >= -1e-9
+    # Demand balance.
+    assert alloc.demand_served_j == pytest.approx(inputs.demand_j, abs=1e-6)
+    # Renewable budget (Eq. 3 with spill).
+    assert (
+        alloc.renewable_serve_j + alloc.renewable_charge_j
+        <= inputs.renewable_j + 1e-6
+    )
+    # Caps (11), (12), (14).
+    assert alloc.charge_j <= inputs.charge_cap_j + 1e-6
+    assert alloc.discharge_j <= inputs.discharge_cap_j + 1e-6
+    assert alloc.grid_draw_j <= inputs.usable_grid_j + 1e-6
+    # Complementarity (9).
+    assert min(alloc.charge_j, alloc.discharge_j) <= 1e-6
+
+
+class TestServeMode:
+    def test_renewable_first_when_z_negative(self):
+        inputs = _inputs(demand=40.0, renewable=100.0, z=-10.0)
+        alloc, objective = _serve_mode_allocation(inputs, grid_price=5.0)
+        assert alloc.renewable_serve_j == pytest.approx(40.0)
+        assert objective == 0.0
+        _check_allocation(inputs, alloc)
+
+    def test_discharge_before_grid_when_cheaper(self):
+        # -z = 2 < grid price 5: battery is the cheaper source.
+        inputs = _inputs(demand=100.0, renewable=0.0, z=-2.0, discharge_cap=60.0)
+        alloc, _ = _serve_mode_allocation(inputs, grid_price=5.0)
+        assert alloc.discharge_j == pytest.approx(60.0)
+        assert alloc.grid_serve_j == pytest.approx(40.0)
+        _check_allocation(inputs, alloc)
+
+    def test_grid_before_discharge_when_cheaper(self):
+        inputs = _inputs(demand=100.0, renewable=0.0, z=-50.0)
+        alloc, _ = _serve_mode_allocation(inputs, grid_price=5.0)
+        assert alloc.grid_serve_j == pytest.approx(100.0)
+        assert alloc.discharge_j == 0.0
+
+    def test_positive_z_prefers_discharge(self):
+        inputs = _inputs(demand=100.0, renewable=0.0, z=10.0, discharge_cap=80.0)
+        alloc, objective = _serve_mode_allocation(inputs, grid_price=0.1)
+        assert alloc.discharge_j == pytest.approx(80.0)
+        assert objective < 0  # discharging pays when z > 0
+
+    def test_infeasible_demand_raises(self):
+        inputs = _inputs(demand=1e9, renewable=1.0, grid_cap=1.0, discharge_cap=1.0)
+        with pytest.raises(InfeasibleError):
+            _serve_mode_allocation(inputs, grid_price=1.0)
+
+    def test_spill_accounted(self):
+        inputs = _inputs(demand=10.0, renewable=100.0)
+        alloc, _ = _serve_mode_allocation(inputs, grid_price=1.0)
+        assert alloc.spill_j == pytest.approx(90.0)
+
+
+class TestChargeMode:
+    def test_charges_renewable_surplus(self):
+        inputs = _inputs(demand=10.0, renewable=100.0, z=-50.0, charge_cap=70.0)
+        result = _charge_mode_allocation(inputs, grid_price=1.0)
+        assert result is not None
+        alloc, _ = result
+        assert alloc.renewable_charge_j == pytest.approx(70.0)
+        _check_allocation(inputs, alloc)
+
+    def test_grid_charges_when_profitable(self):
+        # z + price < 0: grid charging pays off.
+        inputs = _inputs(demand=0.0, renewable=0.0, z=-100.0, charge_cap=50.0)
+        result = _charge_mode_allocation(inputs, grid_price=10.0)
+        assert result is not None
+        alloc, objective = result
+        assert alloc.grid_charge_j == pytest.approx(50.0)
+        assert objective == pytest.approx((-100.0 + 10.0) * 50.0)
+
+    def test_no_grid_charge_when_unprofitable(self):
+        inputs = _inputs(demand=0.0, renewable=0.0, z=-5.0, charge_cap=50.0)
+        result = _charge_mode_allocation(inputs, grid_price=10.0)
+        assert result is not None
+        alloc, _ = result
+        assert alloc.grid_charge_j == 0.0
+
+    def test_renewable_arbitrage(self):
+        # Charging renewable pays |z| = 100/J; grid serving costs 10/J:
+        # better to charge all renewable and serve demand from grid.
+        inputs = _inputs(demand=50.0, renewable=50.0, z=-100.0, charge_cap=200.0)
+        result = _charge_mode_allocation(inputs, grid_price=10.0)
+        assert result is not None
+        alloc, _ = result
+        assert alloc.renewable_charge_j == pytest.approx(50.0)
+        assert alloc.grid_serve_j == pytest.approx(50.0)
+
+    def test_none_when_demand_needs_discharge(self):
+        inputs = _inputs(demand=100.0, renewable=10.0, connected=False)
+        assert _charge_mode_allocation(inputs, grid_price=1.0) is None
+
+    def test_positive_z_never_charges(self):
+        inputs = _inputs(demand=10.0, renewable=100.0, z=5.0)
+        result = _charge_mode_allocation(inputs, grid_price=1.0)
+        assert result is not None
+        alloc, _ = result
+        assert alloc.charge_j == 0.0
+
+
+class TestNodeResponse:
+    def test_complementarity_always_holds(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            inputs = _inputs(
+                demand=float(rng.uniform(0, 500)),
+                renewable=float(rng.uniform(0, 300)),
+                z=float(rng.uniform(-1000, 200)),
+                charge_cap=float(rng.uniform(0, 300)),
+                discharge_cap=float(rng.uniform(0, 300)),
+                grid_cap=600.0,
+            )
+            alloc, _ = _node_response(inputs, mu=0.01, control_v=1000.0)
+            _check_allocation(inputs, alloc)
+
+    def test_user_ignores_price(self):
+        user = _inputs(is_bs=False, z=-50.0)
+        cheap, _ = _node_response(user, mu=0.0, control_v=1000.0)
+        pricey, _ = _node_response(user, mu=1e9, control_v=1000.0)
+        assert cheap == pricey
+
+
+class TestAllocationGivenGrid:
+    def test_meets_demand_and_charges_leftover(self):
+        inputs = _inputs(demand=100.0, renewable=30.0, z=-10.0, charge_cap=500.0)
+        alloc = _allocation_given_grid(inputs, grid_draw_j=150.0)
+        _check_allocation(inputs, alloc)
+        assert alloc.grid_draw_j == pytest.approx(150.0)
+        assert alloc.grid_charge_j == pytest.approx(80.0)
+
+    def test_discharges_to_fill_gap(self):
+        inputs = _inputs(demand=100.0, renewable=10.0, z=-10.0)
+        alloc = _allocation_given_grid(inputs, grid_draw_j=50.0)
+        assert alloc.discharge_j == pytest.approx(40.0)
+        _check_allocation(inputs, alloc)
+
+    def test_infeasible_budget_raises(self):
+        inputs = _inputs(demand=1000.0, renewable=0.0, discharge_cap=10.0)
+        with pytest.raises(InfeasibleError):
+            _allocation_given_grid(inputs, grid_draw_j=0.0)
+
+
+class TestEnergyManagerEndToEnd:
+    def _random_instance(self, rng, num_bs=2, num_users=4):
+        inputs = []
+        for node in range(num_bs + num_users):
+            is_bs = node < num_bs
+            inputs.append(
+                NodeEnergyInputs(
+                    node=node,
+                    is_base_station=is_bs,
+                    demand_j=float(rng.uniform(0, 800)),
+                    renewable_j=float(rng.uniform(0, 400)),
+                    grid_connected=is_bs or bool(rng.random() < 0.5),
+                    grid_cap_j=2000.0,
+                    charge_cap_j=float(rng.uniform(0, 500)),
+                    discharge_cap_j=float(rng.uniform(0, 500)),
+                    z=float(rng.uniform(-5000, 100)),
+                )
+            )
+        # Keep demand coverable without a battery so every instance is
+        # feasible irrespective of the drawn caps.
+        return [
+            i
+            if i.demand_j <= i.renewable_j + i.usable_grid_j + i.discharge_cap_j
+            else NodeEnergyInputs(
+                node=i.node,
+                is_base_station=i.is_base_station,
+                demand_j=i.renewable_j + i.usable_grid_j + i.discharge_cap_j,
+                renewable_j=i.renewable_j,
+                grid_connected=i.grid_connected,
+                grid_cap_j=i.grid_cap_j,
+                charge_cap_j=i.charge_cap_j,
+                discharge_cap_j=i.discharge_cap_j,
+                z=i.z,
+            )
+            for i in inputs
+        ]
+
+    @staticmethod
+    def _objective(model, decision, inputs, exact_drift=True):
+        value = model.params.control_v * decision.cost
+        for node_inputs in inputs:
+            alloc = decision.allocations[node_inputs.node]
+            net = alloc.charge_j - alloc.discharge_j
+            value += node_inputs.z * net
+            if exact_drift:
+                value += 0.5 * net * net
+        return value
+
+    def test_price_decomposition_matches_slsqp(self, tiny_model):
+        rng = np.random.default_rng(21)
+        exact = EnergyManager(tiny_model, EnergySolverKind.PRICE_DECOMPOSITION)
+        reference = EnergyManager(tiny_model, EnergySolverKind.SLSQP)
+        for trial in range(8):
+            inputs = self._random_instance(rng)
+            fast = exact.manage(inputs)
+            slow = reference.manage(inputs)
+            fast_obj = self._objective(tiny_model, fast, inputs)
+            slow_obj = self._objective(tiny_model, slow, inputs)
+            scale = max(abs(fast_obj), abs(slow_obj), 1.0)
+            # The exact solver must never be worse than SLSQP beyond
+            # numerical slack (SLSQP may itself be slightly suboptimal).
+            assert fast_obj <= slow_obj + 1e-4 * scale, (
+                f"trial {trial}: price decomposition {fast_obj} worse than "
+                f"SLSQP {slow_obj}"
+            )
+
+    def test_all_constraints_hold(self, tiny_model):
+        rng = np.random.default_rng(5)
+        manager = EnergyManager(tiny_model)
+        for _ in range(10):
+            inputs = self._random_instance(rng)
+            decision = manager.manage(inputs)
+            for node_inputs in inputs:
+                _check_allocation(
+                    node_inputs, decision.allocations[node_inputs.node]
+                )
+            bs_draw = sum(
+                decision.allocations[i.node].grid_draw_j
+                for i in inputs
+                if i.is_base_station
+            )
+            assert decision.bs_grid_draw_j == pytest.approx(bs_draw)
+            assert decision.cost == pytest.approx(
+                tiny_model.cost.value(bs_draw)
+            )
+
+    def test_partial_charge_near_threshold(self, tiny_model):
+        # Regression: a barely-negative z must trigger a *partial*
+        # charge sized by V f'(P) = -z, not a full-cap burst.
+        v = tiny_model.params.control_v
+        inputs = [
+            NodeEnergyInputs(
+                node=0,
+                is_base_station=True,
+                demand_j=900.0,
+                renewable_j=100.0,
+                grid_connected=True,
+                grid_cap_j=7.2e5,
+                charge_cap_j=7.2e4,
+                discharge_cap_j=7.2e4,
+                z=-263.0,
+            )
+        ]
+        decision = EnergyManager(tiny_model).manage(inputs)
+        target = tiny_model.cost.inverse_derivative(263.0 / v)
+        assert decision.bs_grid_draw_j <= target + 1.0
+        assert decision.bs_grid_draw_j < 7.2e4  # far below the cap
+
+    def test_grid_only_never_uses_battery(self, tiny_model):
+        rng = np.random.default_rng(9)
+        manager = EnergyManager(tiny_model, EnergySolverKind.GRID_ONLY)
+        inputs = self._random_instance(rng)
+        decision = manager.manage(inputs)
+        for alloc in decision.allocations.values():
+            assert alloc.charge_j == 0.0
+
+    def test_infeasible_demand_rejected(self, tiny_model):
+        manager = EnergyManager(tiny_model)
+        bad = [_inputs(demand=1e12)]
+        with pytest.raises(InfeasibleError, match="curtailment"):
+            manager.manage(bad)

@@ -1,0 +1,216 @@
+"""Unit tests for the Lyapunov core: constants, drift terms, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.control import DriftPlusPenaltyController
+from repro.core import (
+    RelaxedLpController,
+    compute_constants,
+    lower_bound_cost,
+    lyapunov_value,
+)
+from repro.core.drift import compute_drift_terms
+
+
+class TestLyapunovConstants:
+    def test_beta_is_max_link_capacity(self, tiny_model, tiny_constants):
+        assert tiny_constants.beta == pytest.approx(
+            max(tiny_constants.link_capacity_pkts.values())
+        )
+
+    def test_link_capacities_positive(self, tiny_constants):
+        assert all(c > 0 for c in tiny_constants.link_capacity_pkts.values())
+
+    def test_gamma_max_is_derivative_at_cap(self, tiny_model, tiny_constants):
+        expected = tiny_model.cost.derivative(tiny_model.total_grid_cap_j())
+        assert tiny_constants.gamma_max == pytest.approx(expected)
+
+    def test_b_is_positive_and_finite(self, tiny_constants):
+        assert tiny_constants.drift_b > 0
+        assert np.isfinite(tiny_constants.drift_b)
+
+    def test_b_grows_with_admission_cap(self):
+        import dataclasses
+
+        from repro.config import tiny_scenario
+        from repro.model import build_network_model
+
+        base_params = tiny_scenario()
+        bigger_sessions = dataclasses.replace(
+            base_params.sessions, admission_max_packets=10_000
+        )
+        params = dataclasses.replace(base_params, sessions=bigger_sessions)
+        # Identical placement rng: only K_max differs between models.
+        base = build_network_model(base_params, np.random.default_rng(0))
+        bigger = build_network_model(params, np.random.default_rng(0))
+        assert compute_constants(bigger).drift_b > compute_constants(base).drift_b
+
+    def test_max_service_pkts(self, tiny_constants):
+        links = list(tiny_constants.link_capacity_pkts)
+        node = links[0][0]
+        expected = max(
+            cap for (tx, _), cap in tiny_constants.link_capacity_pkts.items()
+            if tx == node
+        )
+        assert tiny_constants.max_service_pkts(node, links) == pytest.approx(expected)
+
+
+class TestLyapunovValue:
+    def test_zero_state(self):
+        assert lyapunov_value([], [], []) == 0.0
+
+    def test_matches_definition(self):
+        value = lyapunov_value([1.0, 2.0], [3.0], [4.0])
+        assert value == pytest.approx(0.5 * (1 + 4 + 9 + 16))
+
+    def test_monotone_in_backlog(self):
+        low = lyapunov_value([1.0], [1.0], [1.0])
+        high = lyapunov_value([2.0], [1.0], [1.0])
+        assert high > low
+
+
+class TestDriftTerms:
+    def test_terms_of_a_real_decision(self, tiny_model, tiny_constants, tiny_state):
+        controller = DriftPlusPenaltyController(
+            tiny_model, tiny_constants, np.random.default_rng(0)
+        )
+        # Warm up two slots so queues are non-trivial.
+        for slot in range(2):
+            decision = controller.decide(tiny_state.observe(slot), tiny_state)
+            tiny_state.apply(decision, slot)
+        observation = tiny_state.observe(2)
+        h = tiny_state.h_backlogs()
+        z = tiny_state.z_values()
+        decision = controller.decide(observation, tiny_state)
+        terms = compute_drift_terms(
+            tiny_model, tiny_constants, decision, tiny_state.backlog, h, z
+        )
+        # Psi-hat_1 is a negated weighted sum of non-negative services.
+        assert terms.psi1 <= 0.0
+        assert np.isfinite(terms.total)
+        assert terms.total == pytest.approx(
+            terms.psi1 + terms.psi2 + terms.psi3 + terms.psi4
+        )
+
+    def test_psi2_sign_follows_threshold(self, tiny_model, tiny_constants, tiny_state):
+        controller = DriftPlusPenaltyController(
+            tiny_model, tiny_constants, np.random.default_rng(0)
+        )
+        observation = tiny_state.observe(0)
+        decision = controller.decide(observation, tiny_state)
+        terms = compute_drift_terms(
+            tiny_model,
+            tiny_constants,
+            decision,
+            tiny_state.backlog,
+            tiny_state.h_backlogs(),
+            tiny_state.z_values(),
+        )
+        # With empty queues, admission happens below threshold: the
+        # Psi-hat_2 contribution (Q - lambda*V)*k is negative.
+        assert terms.psi2 < 0.0
+
+
+class TestBounds:
+    def test_lower_bound_formula(self):
+        assert lower_bound_cost(100.0, 50.0, 10.0) == pytest.approx(95.0)
+
+    def test_lower_bound_requires_positive_v(self):
+        with pytest.raises(ValueError):
+            lower_bound_cost(1.0, 1.0, 0.0)
+
+    def test_relaxed_controller_beats_heuristic_per_slot(
+        self, tiny_model, tiny_constants, tiny_state
+    ):
+        """The relaxed LP optimum must dominate the heuristic on the
+        drift objective for the *same* queue state."""
+        heuristic = DriftPlusPenaltyController(
+            tiny_model, tiny_constants, np.random.default_rng(0)
+        )
+        relaxed = RelaxedLpController(tiny_model, tiny_constants)
+        # Advance a few slots with the heuristic to populate queues.
+        for slot in range(3):
+            decision = heuristic.decide(tiny_state.observe(slot), tiny_state)
+            tiny_state.apply(decision, slot)
+        observation = tiny_state.observe(3)
+        h = tiny_state.h_backlogs()
+        z = tiny_state.z_values()
+        heuristic_decision = heuristic.decide(observation, tiny_state)
+        relaxed_decision = relaxed.decide(observation, tiny_state)
+        from repro.core.drift import battery_drift_quadratic_term
+
+        heuristic_terms = compute_drift_terms(
+            tiny_model, tiny_constants, heuristic_decision,
+            tiny_state.backlog, h, z,
+        )
+        relaxed_terms = compute_drift_terms(
+            tiny_model, tiny_constants, relaxed_decision,
+            tiny_state.backlog, h, z,
+        )
+        # Both controllers minimise the exact-drift objective (paper
+        # Psi-hats plus the quadratic battery term).
+        heuristic_total = heuristic_terms.total + battery_drift_quadratic_term(
+            heuristic_decision
+        )
+        relaxed_total = relaxed_terms.total + battery_drift_quadratic_term(
+            relaxed_decision
+        )
+        scale = max(abs(heuristic_total), 1.0)
+        assert relaxed_total <= heuristic_total + 1e-6 * scale
+
+    def test_relaxed_decision_respects_radio_relaxation(
+        self, tiny_model, tiny_constants, tiny_state
+    ):
+        relaxed = RelaxedLpController(tiny_model, tiny_constants)
+        # Seed some virtual backlog so the LP wants to schedule.
+        tiny_state.virtual_queues.step(
+            {link: 10.0 for link in tiny_model.topology.candidate_links}, {}
+        )
+        decision = relaxed.decide(tiny_state.observe(0), tiny_state)
+        # Per-node fractional activity cannot exceed 1: total service
+        # on links touching a node is bounded by its best-band service.
+        for node in range(tiny_model.num_nodes):
+            total = sum(
+                service
+                for (tx, rx), service in decision.schedule.link_service_pkts.items()
+                if node in (tx, rx)
+            )
+            assert total <= tiny_constants.beta + 1e-6
+
+    def test_relaxed_energy_respects_caps(
+        self, tiny_model, tiny_constants, tiny_state
+    ):
+        relaxed = RelaxedLpController(tiny_model, tiny_constants)
+        observation = tiny_state.observe(0)
+        decision = relaxed.decide(observation, tiny_state)
+        for node_obj in tiny_model.nodes:
+            node = node_obj.node_id
+            alloc = decision.energy.allocations[node]
+            battery = tiny_state.batteries[node]
+            assert alloc.charge_j <= battery.max_charge_j() + 1e-6
+            assert alloc.discharge_j <= battery.max_discharge_j() + 1e-6
+            assert (
+                alloc.renewable_serve_j + alloc.renewable_charge_j
+                <= observation.renewable_j[node] + 1e-6
+            )
+            if not observation.grid_connected[node]:
+                assert alloc.grid_draw_j == pytest.approx(0.0, abs=1e-6)
+
+    def test_relaxed_penalty_recorded(self, tiny_model, tiny_constants, tiny_state):
+        relaxed = RelaxedLpController(tiny_model, tiny_constants)
+        decision = relaxed.decide(tiny_state.observe(0), tiny_state)
+        lam = tiny_model.params.admission_lambda
+        expected = decision.energy.cost - lam * decision.admission.total_admitted()
+        assert relaxed.last_penalty == pytest.approx(expected)
+
+    def test_relaxed_demand_equality(self, tiny_model, tiny_constants, tiny_state):
+        relaxed = RelaxedLpController(tiny_model, tiny_constants)
+        decision = relaxed.decide(tiny_state.observe(0), tiny_state)
+        for session in tiny_model.sessions:
+            delivered = sum(
+                rate
+                for (tx, rx, sid), rate in decision.routing.rates.items()
+                if rx == session.destination and sid == session.session_id
+            )
+            assert delivered == pytest.approx(float(session.demand(0)))

@@ -1,0 +1,119 @@
+"""Tests for the multi-radio extension (constraint-(22) budgets)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_scenario
+from repro.control import LinkScheduler
+from repro.core import compute_constants
+from repro.exceptions import SolverError
+from repro.model import build_network_model
+from repro.sim import SlotSimulator
+from repro.state import NetworkState
+from repro.types import SchedulerKind
+
+
+def _multi_radio_params(bs_radios=3, user_radios=1, **kwargs):
+    params = tiny_scenario(**kwargs)
+    return dataclasses.replace(
+        params,
+        bs_node=dataclasses.replace(params.bs_node, num_radios=bs_radios),
+        user_node=dataclasses.replace(params.user_node, num_radios=user_radios),
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_model():
+    return build_network_model(
+        _multi_radio_params(), np.random.default_rng(0)
+    )
+
+
+@pytest.fixture(scope="module")
+def multi_constants(multi_model):
+    return compute_constants(multi_model)
+
+
+@pytest.fixture
+def multi_observation(multi_model, multi_constants):
+    state = NetworkState(multi_model, multi_constants, np.random.default_rng(1))
+    return state.observe(0)
+
+
+def _audit_budgets(model, decision):
+    usage = {}
+    band_usage = set()
+    for t in decision.transmissions:
+        for node in (t.tx, t.rx):
+            usage[node] = usage.get(node, 0) + 1
+            pair = (node, t.band)
+            assert pair not in band_usage, "constraint (20)/(21) violated"
+            band_usage.add(pair)
+    for node, used in usage.items():
+        assert used <= model.nodes[node].radio.num_radios
+
+
+class TestMultiRadioScheduling:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            SchedulerKind.SEQUENTIAL_FIX,
+            SchedulerKind.SEQUENTIAL_FIX_SINR,
+            SchedulerKind.GREEDY,
+        ],
+    )
+    def test_budgets_respected(self, multi_model, multi_constants, multi_observation, kind):
+        scheduler = LinkScheduler(multi_model, multi_constants, kind=kind)
+        rng = np.random.default_rng(3)
+        h = {
+            link: float(rng.uniform(1, 100))
+            for link in multi_model.topology.candidate_links
+        }
+        decision = scheduler.schedule(multi_observation, h)
+        _audit_budgets(multi_model, decision)
+
+    def test_matching_refuses_budgets(self, multi_model, multi_constants, multi_observation):
+        scheduler = LinkScheduler(
+            multi_model, multi_constants, kind=SchedulerKind.MAX_WEIGHT_MATCHING
+        )
+        h = {link: 5.0 for link in multi_model.topology.candidate_links}
+        with pytest.raises(SolverError, match="single-radio"):
+            scheduler.schedule(multi_observation, h)
+
+    def test_bs_can_serve_multiple_links(self, multi_model, multi_constants, multi_observation):
+        # Load every BS out-link heavily: with 3 radios the base
+        # station should carry more than one concurrent transmission.
+        scheduler = LinkScheduler(multi_model, multi_constants)
+        bs = multi_model.bs_ids[0]
+        h = {
+            (bs, rx): 1000.0 for rx in multi_model.topology.out_neighbors[bs]
+        }
+        decision = scheduler.schedule(multi_observation, h)
+        bs_tx = [t for t in decision.transmissions if t.tx == bs]
+        assert len(bs_tx) >= 2
+        _audit_budgets(multi_model, decision)
+
+    def test_b_constant_grows_with_radios(self):
+        single = build_network_model(tiny_scenario(), np.random.default_rng(0))
+        multi = build_network_model(_multi_radio_params(), np.random.default_rng(0))
+        assert (
+            compute_constants(multi).drift_b > compute_constants(single).drift_b
+        )
+
+    def test_full_simulation_runs(self):
+        params = _multi_radio_params(num_slots=12)
+        result = SlotSimulator.integral(params).run()
+        assert result.num_slots == 12
+        demand = sum(
+            s.demand_packets
+            for s in SlotSimulator.integral(params).model.sessions
+        )
+        assert np.all(result.metrics.series("delivered_pkts") == demand)
+
+    def test_invalid_radio_count_rejected(self):
+        with pytest.raises(ValueError, match="num_radios"):
+            dataclasses.replace(
+                tiny_scenario().bs_node, num_radios=0
+            )

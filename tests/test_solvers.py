@@ -1,0 +1,216 @@
+"""Unit tests for the solver layer: LP builder, sequential fix,
+bisection/golden-section."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solvers import (
+    LinearProgram,
+    Sense,
+    bisect_root,
+    minimize_convex_1d,
+    sequential_fix,
+)
+
+
+class TestLinearProgram:
+    def test_simple_minimization(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, lower=2.0, upper=10.0)
+        solution = lp.solve()
+        assert solution.value("x") == pytest.approx(2.0)
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_le_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=-1.0, upper=100.0)
+        lp.add_constraint({"x": 2.0}, Sense.LE, 10.0)
+        assert lp.solve().value("x") == pytest.approx(5.0)
+
+    def test_ge_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, upper=100.0)
+        lp.add_constraint({"x": 1.0}, Sense.GE, 7.0)
+        assert lp.solve().value("x") == pytest.approx(7.0)
+
+    def test_eq_constraint(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=0.0, upper=100.0)
+        lp.add_variable("y", objective=1.0, upper=100.0)
+        lp.add_constraint({"x": 1.0, "y": 1.0}, Sense.EQ, 10.0)
+        solution = lp.solve()
+        assert solution.value("x") + solution.value("y") == pytest.approx(10.0)
+        assert solution.value("y") == pytest.approx(0.0)
+
+    def test_structured_keys(self):
+        lp = LinearProgram()
+        lp.add_variable(("a", 0, 1), objective=-3.0, upper=1.0)
+        lp.add_variable(("a", 1, 0), objective=-1.0, upper=1.0)
+        lp.add_constraint({("a", 0, 1): 1.0, ("a", 1, 0): 1.0}, Sense.LE, 1.0)
+        solution = lp.solve()
+        assert solution.value(("a", 0, 1)) == pytest.approx(1.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=1.0, lower=0.0, upper=1.0)
+        lp.add_constraint({"x": 1.0}, Sense.GE, 5.0)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_duplicate_variable_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolverError):
+            lp.add_variable("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(SolverError):
+            lp.add_constraint({"y": 1.0}, Sense.LE, 1.0)
+
+    def test_fix_variable(self):
+        lp = LinearProgram()
+        lp.add_variable("x", objective=-1.0, upper=10.0)
+        lp.fix_variable("x", 3.0)
+        assert lp.solve().value("x") == pytest.approx(3.0)
+
+    def test_empty_program(self):
+        assert LinearProgram().solve().objective == 0.0
+
+    def test_empty_bound_interval_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(SolverError):
+            lp.add_variable("x", lower=5.0, upper=1.0)
+
+    def test_huge_coefficient_range_survives(self):
+        # Regression: beta^2-scaled drift coefficients (1e11+) used to
+        # trip HiGHS simplex numerics before objective normalisation.
+        lp = LinearProgram()
+        lp.add_variable("big", objective=-5e11, upper=1.0)
+        lp.add_variable("small", objective=-2e-4, upper=1.0)
+        lp.add_constraint({"big": 1.0, "small": 1.0}, Sense.LE, 1.0)
+        solution = lp.solve()
+        assert solution.value("big") == pytest.approx(1.0)
+
+
+class TestSequentialFix:
+    @staticmethod
+    def _matching_problem(weights, conflicts_map):
+        """Build an SF instance from explicit weights and conflicts.
+
+        The relaxed LP carries pairwise conflict constraints, mirroring
+        how the scheduler encodes constraint (22).
+        """
+
+        def build_lp(fixed):
+            lp = LinearProgram()
+            for key, weight in weights.items():
+                lp.add_variable(key, objective=-weight, lower=0.0, upper=1.0)
+            for key, value in fixed.items():
+                lp.fix_variable(key, value)
+            seen = set()
+            for key, others in conflicts_map.items():
+                for other in others:
+                    pair = tuple(sorted((key, other)))
+                    if pair not in seen:
+                        seen.add(pair)
+                        lp.add_constraint(
+                            {pair[0]: 1.0, pair[1]: 1.0}, Sense.LE, 1.0
+                        )
+            return lp
+
+        return sequential_fix(
+            sorted(weights),
+            build_lp,
+            lambda key: conflicts_map.get(key, []),
+        )
+
+    def test_no_conflicts_selects_everything(self):
+        result = self._matching_problem({"a": 1.0, "b": 2.0}, {})
+        assert result == {"a": 1, "b": 1}
+
+    def test_conflict_drops_lower_weight(self):
+        result = self._matching_problem(
+            {"a": 5.0, "b": 1.0}, {"a": ["b"], "b": ["a"]}
+        )
+        assert result == {"a": 1, "b": 0}
+
+    def test_zero_weights_all_unscheduled(self):
+        def build_lp(fixed):
+            lp = LinearProgram()
+            for key in ("a", "b"):
+                lp.add_variable(key, objective=0.0, lower=0.0, upper=1.0)
+            for key, value in fixed.items():
+                lp.fix_variable(key, value)
+            # Push toward zero so the relaxation leaves them there.
+            lp.add_constraint({"a": 1.0, "b": 1.0}, Sense.LE, 0.0)
+            return lp
+
+        result = sequential_fix(["a", "b"], build_lp, lambda key: [])
+        assert result == {"a": 0, "b": 0}
+
+    def test_chain_conflicts(self):
+        # a conflicts with b, b with c: optimal is {a, c}.
+        result = self._matching_problem(
+            {"a": 3.0, "b": 2.0, "c": 3.0},
+            {"a": ["b"], "b": ["a", "c"], "c": ["b"]},
+        )
+        assert result == {"a": 1, "b": 0, "c": 1}
+
+    def test_missing_variable_in_builder_raises(self):
+        def build_lp(fixed):
+            lp = LinearProgram()
+            lp.add_variable("a", objective=-1.0, upper=1.0)
+            return lp
+
+        with pytest.raises(SolverError, match="omitted"):
+            sequential_fix(["a", "b"], build_lp, lambda key: [])
+
+    def test_iteration_cap(self):
+        def build_lp(fixed):
+            lp = LinearProgram()
+            lp.add_variable("a", objective=-1.0, upper=1.0)
+            lp.add_variable("b", objective=-1.0, upper=1.0)
+            for key, value in fixed.items():
+                lp.fix_variable(key, value)
+            return lp
+
+        # max_iterations=0 forces immediate failure.
+        with pytest.raises(SolverError, match="iterations"):
+            sequential_fix(["a", "b"], build_lp, lambda key: [], max_iterations=0)
+
+
+class TestBisection:
+    def test_root_of_linear(self):
+        root = bisect_root(lambda x: x - 3.0, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-6)
+
+    def test_root_of_monotone_nonlinear(self):
+        root = bisect_root(lambda x: math.exp(x) - 5.0, 0.0, 5.0)
+        assert root == pytest.approx(math.log(5.0), abs=1e-6)
+
+    def test_no_sign_change_returns_endpoint(self):
+        assert bisect_root(lambda x: x + 10.0, 0.0, 1.0) == 0.0
+        assert bisect_root(lambda x: x - 10.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(SolverError):
+            bisect_root(lambda x: x, 1.0, 0.0)
+
+    def test_golden_section_quadratic(self):
+        x = minimize_convex_1d(lambda t: (t - 2.5) ** 2, 0.0, 10.0)
+        assert x == pytest.approx(2.5, abs=1e-5)
+
+    def test_golden_section_boundary_minimum(self):
+        x = minimize_convex_1d(lambda t: t, 1.0, 5.0)
+        assert x == pytest.approx(1.0, abs=1e-5)
+
+    def test_golden_section_empty_interval(self):
+        with pytest.raises(SolverError):
+            minimize_convex_1d(lambda t: t, 2.0, 1.0)
+
+    def test_golden_section_degenerate_interval(self):
+        assert minimize_convex_1d(lambda t: t * t, 3.0, 3.0) == 3.0

@@ -1,0 +1,42 @@
+"""Unit tests for the shared types module."""
+
+import pytest
+
+from repro.types import Point, Transmission
+
+
+class TestPoint:
+    def test_distance_to_self_is_zero(self):
+        p = Point(10.0, 20.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 2.0), Point(-3.0, 7.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_points_are_immutable(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0  # type: ignore[misc]
+
+    def test_points_are_hashable_and_comparable(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+
+class TestTransmission:
+    def test_link_property(self):
+        t = Transmission(tx=3, rx=7, band=1, power_w=0.5)
+        assert t.link == (3, 7)
+
+    def test_link_band_property(self):
+        t = Transmission(tx=3, rx=7, band=1, power_w=0.5)
+        assert t.link_band == (3, 7, 1)
+
+    def test_transmissions_are_frozen(self):
+        t = Transmission(tx=0, rx=1, band=0, power_w=1.0)
+        with pytest.raises(AttributeError):
+            t.power_w = 2.0  # type: ignore[misc]
