@@ -8,6 +8,7 @@ and the relaxed LP slot.
 
 import numpy as np
 
+from repro.contracts import ContractChecker
 from repro.sim import SlotSimulator
 
 
@@ -20,6 +21,30 @@ def _warm_simulator(base, slots=10):
 
 def test_controller_slot(benchmark, bench_base):
     simulator = _warm_simulator(bench_base)
+    observation = simulator.state.observe(99)
+
+    benchmark(
+        lambda: simulator.controller.decide(observation, simulator.state)
+    )
+
+
+def test_controller_slot_contracts_off(benchmark, bench_base):
+    # Must be indistinguishable from test_controller_slot: an attached
+    # checker at strictness "off" short-circuits on a single bool.
+    simulator = _warm_simulator(bench_base)
+    simulator.controller.attach_contracts(ContractChecker("off"))
+    observation = simulator.state.observe(99)
+
+    benchmark(
+        lambda: simulator.controller.decide(observation, simulator.state)
+    )
+
+
+def test_controller_slot_contracts_strict(benchmark, bench_base):
+    # The price of full per-slot invariant validation (S1-S4 hooks +
+    # the assembly checks) relative to the two baselines above.
+    simulator = _warm_simulator(bench_base)
+    simulator.controller.attach_contracts(ContractChecker("strict"))
     observation = simulator.state.observe(99)
 
     benchmark(

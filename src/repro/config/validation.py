@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.config.parameters import ScenarioParameters
+from repro.constants import approx_eq
 from repro.exceptions import ConfigurationError
 
 
@@ -75,7 +76,7 @@ def validate_parameters(params: ScenarioParameters) -> None:
         _non_negative(energy.grid_cap_j, f"{label}.grid_cap_j", errors)
         _probability(energy.grid_connect_prob, f"{label}.grid_connect_prob", errors)
 
-    if params.bs_energy.grid_connect_prob != 1.0:
+    if not approx_eq(params.bs_energy.grid_connect_prob, 1.0):
         errors.append(
             "bs_energy.grid_connect_prob must be 1.0: the paper assumes "
             "base stations are always grid-connected"

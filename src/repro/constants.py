@@ -8,6 +8,8 @@ code never mixes unit systems.
 
 from __future__ import annotations
 
+import math
+
 #: Seconds in one minute (the paper's slot duration is one minute).
 SECONDS_PER_MINUTE: float = 60.0
 
@@ -35,6 +37,26 @@ PAPER_SINR_THRESHOLD: float = 1.0
 #: A tolerance for floating-point feasibility checks throughout the
 #: library (queue non-negativity, battery bounds, LP round-off, ...).
 FEASIBILITY_EPS: float = 1e-9
+
+
+def approx_eq(
+    a: float,
+    b: float,
+    rel_tol: float = 1e-9,
+    abs_tol: float = FEASIBILITY_EPS,
+) -> bool:
+    """Tolerant float equality for energy/queue quantities.
+
+    Exact ``==`` on computed floats is forbidden by lint rule R002;
+    energy balances and queue backlogs accumulate round-off, so
+    comparisons must carry an explicit tolerance.
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def approx_zero(x: float, abs_tol: float = FEASIBILITY_EPS) -> bool:
+    """Tolerant zero test for energy/queue quantities (see R002)."""
+    return abs(x) <= abs_tol
 
 
 def kwh_to_joules(kwh: float) -> float:

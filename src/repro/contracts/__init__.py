@@ -1,0 +1,19 @@
+"""Runtime contracts for the paper's invariants.
+
+The controller's correctness rests on constraints the paper states but
+a simulation could silently violate after a refactor: charge-xor-
+discharge complementarity (Eq. 9), battery bounds (Eq. 10), the data,
+virtual and shifted-energy queue laws (Eqs. 15, 28, 30, 31), the
+single-radio scheduling constraint (Eq. 22), and SINR feasibility of
+every scheduled link (Eq. 24).  :class:`ContractChecker` validates all
+of them per slot at a configurable strictness — ``off`` (no-op, zero
+overhead), ``warn`` (log once per contract), ``strict`` (raise
+:class:`ContractViolation` with slot/node/equation context).
+
+See ``docs/contracts.md`` for the contract-to-equation map.
+"""
+
+from repro.contracts.checker import ContractChecker, Strictness
+from repro.contracts.violations import ContractViolation
+
+__all__ = ["ContractChecker", "ContractViolation", "Strictness"]

@@ -1,0 +1,47 @@
+"""The structured exception carried by every contract failure."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.types import Link, NodeId
+
+
+class ContractViolation(ReproError):
+    """A paper invariant failed at runtime.
+
+    Attributes:
+        equation: the paper equation (or named contract) that failed,
+            e.g. ``"Eq. 9"`` or ``"energy-balance"``.
+        slot: slot index at which the violation was observed.
+        node: offending node id, when the contract is node-local.
+        link: offending ``(tx, rx)`` link, when link-local.
+        detail: human-readable description of the failed predicate.
+    """
+
+    def __init__(
+        self,
+        equation: str,
+        detail: str,
+        slot: Optional[int] = None,
+        node: Optional[NodeId] = None,
+        link: Optional[Link] = None,
+    ) -> None:
+        self.equation = equation
+        self.detail = detail
+        self.slot = slot
+        self.node = node
+        self.link = link
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        where: Tuple[str, ...] = ()
+        if self.slot is not None:
+            where += (f"slot {self.slot}",)
+        if self.node is not None:
+            where += (f"node {self.node}",)
+        if self.link is not None:
+            where += (f"link {self.link}",)
+        location = ", ".join(where) if where else "unlocated"
+        return f"[{self.equation}] {self.detail} ({location})"

@@ -10,10 +10,11 @@ source (ties broken uniformly at random), then admit
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.contracts import ContractChecker
 from repro.control.decisions import AdmissionDecision
 from repro.model import NetworkModel
 from repro.types import NodeId, SessionId
@@ -25,21 +26,34 @@ BacklogFn = Callable[[NodeId, SessionId], float]
 class ResourceAllocator:
     """The S2 subproblem solver."""
 
-    def __init__(self, model: NetworkModel, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        model: NetworkModel,
+        rng: np.random.Generator,
+        checker: Optional[ContractChecker] = None,
+    ) -> None:
         self._model = model
         self._rng = rng
         self._threshold = model.params.admission_lambda * model.params.control_v
+        self._checker = checker
 
     @property
     def admission_threshold(self) -> float:
         """The backlog threshold ``lambda * V``."""
         return self._threshold
 
-    def allocate(self, backlog: BacklogFn) -> AdmissionDecision:
+    def attach_contracts(self, checker: ContractChecker) -> None:
+        """Validate every admission decision against Eq. 19."""
+        self._checker = checker
+
+    def allocate(
+        self, backlog: BacklogFn, slot: Optional[int] = None
+    ) -> AdmissionDecision:
         """Solve S2 for one slot.
 
         Args:
             backlog: accessor for the current ``Q_i^s(t)``.
+            slot: slot index, carried into contract diagnostics.
 
         Returns:
             Per-session source base stations and admitted packet counts.
@@ -57,4 +71,7 @@ class ResourceAllocator:
                 admitted[session.session_id] = session.k_max
             else:
                 admitted[session.session_id] = 0
-        return AdmissionDecision(sources=sources, admitted=admitted)
+        decision = AdmissionDecision(sources=sources, admitted=admitted)
+        if self._checker is not None and self._checker.enabled:
+            self._checker.check_admission(self._model, decision, slot)
+        return decision

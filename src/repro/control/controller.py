@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.contracts import ContractChecker
 from repro.control.admission import ResourceAllocator
 from repro.control.decisions import (
     ScheduleDecision,
@@ -62,6 +63,7 @@ class DriftPlusPenaltyController:
         scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
         energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
         router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+        checker: Optional[ContractChecker] = None,
     ) -> None:
         self._model = model
         self._constants = constants
@@ -71,6 +73,9 @@ class DriftPlusPenaltyController:
             model, constants, rng, mode=router_mode
         )
         self.energy_manager = EnergyManager(model, kind=energy_solver)
+        self._checker: Optional[ContractChecker] = None
+        if checker is not None:
+            self.attach_contracts(checker)
         self._allowed_links = self._compute_allowed_links()
         #: Energy demand shed because no supply could cover it (J),
         #: accumulated across slots for the metrics collector.
@@ -78,6 +83,18 @@ class DriftPlusPenaltyController:
         #: Previous slot's total grid draw, seeding the marginal energy
         #: price used by energy-aware scheduling.
         self._last_grid_draw_j: float = 0.0
+
+    def attach_contracts(self, checker: ContractChecker) -> None:
+        """Enable per-slot invariant checks in S1-S4 and the assembly.
+
+        The checker also propagates to the four subproblem modules so
+        each validates its own raw output (see ``docs/contracts.md``).
+        """
+        self._checker = checker
+        self.scheduler.attach_contracts(checker)
+        self.allocator.attach_contracts(checker)
+        self.router.attach_contracts(checker)
+        self.energy_manager.attach_contracts(checker)
 
     def _energy_prices(self, slot: int) -> Optional[Dict[NodeId, float]]:
         """Per-node marginal energy prices for the S1 weights.
@@ -221,7 +238,7 @@ class DriftPlusPenaltyController:
         demands = self._curtail(schedule, observation, state, h_backlogs)
         curtailed = schedule.dropped[curtailed_before:]
 
-        admission = self.allocator.allocate(state.backlog)
+        admission = self.allocator.allocate(state.backlog, slot=observation.slot)
         routing = self.router.route(
             observation,
             schedule,
@@ -258,6 +275,17 @@ class DriftPlusPenaltyController:
             inputs, cost=self._model.cost_at(observation.slot)
         )
         self._last_grid_draw_j = energy.bs_grid_draw_j
+
+        if self._checker is not None and self._checker.enabled:
+            # Re-validate the *post-curtailment* schedule (the S1 hook
+            # saw the raw activation set) and the Eq. 2 coverage of the
+            # realised demands, deficit included.
+            self._checker.check_schedule(
+                self._model, observation, schedule, observation.slot
+            )
+            self._checker.check_demand_coverage(
+                demands, self.last_deficit_j, energy, observation.slot
+            )
 
         return SlotDecision(
             schedule=schedule,

@@ -1,20 +1,26 @@
 """Decision and observation dataclasses exchanged by the control plane.
 
-One slot of the online algorithm is: observe the random state
-(:class:`SlotObservation`), solve S1-S4, and emit a
-:class:`SlotDecision` that the simulator applies to the queues and
-batteries.
+One slot of the online algorithm (Section IV-C) is: observe the random
+state (:class:`SlotObservation` — the realised ``W_m(t)``, ``R_i(t)``
+and ``omega_i(t)``), solve S1-S4, and emit a :class:`SlotDecision` that
+the simulator applies to the queues and batteries.  The fields mirror
+the paper's decision variables: ``a_ij^m`` / ``p_ij^m`` (Eqs. 20-24),
+``k_s`` admission splits (Eq. 19), ``l_ij^s`` routing rates (Eq. 25),
+and the per-node energy allocation of Eqs. 2-3 and 9-14.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.network.spectrum import BandState
 from repro.types import Link, LinkBand, NodeId, SessionId, Transmission
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.model import NetworkModel
 
 
 @dataclass(frozen=True)
@@ -40,7 +46,9 @@ class SlotObservation:
     gains: Optional[np.ndarray] = None
     band_access: Optional[Mapping[NodeId, frozenset]] = None
 
-    def common_bands(self, model, tx: NodeId, rx: NodeId) -> frozenset:
+    def common_bands(
+        self, model: "NetworkModel", tx: NodeId, rx: NodeId
+    ) -> frozenset:
         """``M_i(t) ∩ M_j(t)``: usable bands on link ``(tx, rx)`` now."""
         if self.band_access is not None:
             return self.band_access[tx] & self.band_access[rx]

@@ -29,6 +29,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.constants import FEASIBILITY_EPS
+from repro.contracts import ContractChecker
 from repro.control.decisions import EnergyManagementDecision, NodeEnergyAllocation
 from repro.energy.cost import QuadraticCost
 from repro.exceptions import InfeasibleError, SolverError
@@ -358,6 +359,7 @@ class EnergyManager:
         model: NetworkModel,
         kind: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
         exact_drift: Optional[bool] = None,
+        checker: Optional[ContractChecker] = None,
     ) -> None:
         self._model = model
         self._kind = kind
@@ -365,6 +367,11 @@ class EnergyManager:
         if exact_drift is None:
             exact_drift = model.params.exact_battery_drift
         self._exact_drift = exact_drift
+        self._checker = checker
+
+    def attach_contracts(self, checker: ContractChecker) -> None:
+        """Validate every S4 allocation against Eqs. 3 and 9-14."""
+        self._checker = checker
 
     @property
     def exact_drift(self) -> bool:
@@ -404,7 +411,10 @@ class EnergyManager:
             allocations = self._solve_slsqp(inputs, cost)
         else:
             allocations = self._solve_grid_only(inputs)
-        return self._assemble(allocations, inputs, cost)
+        decision = self._assemble(allocations, inputs, cost)
+        if self._checker is not None and self._checker.enabled:
+            self._checker.check_energy(inputs, decision)
+        return decision
 
     def _assemble(
         self,

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.contracts import ContractChecker
 from repro.control.decisions import (
     AdmissionDecision,
     RoutingDecision,
@@ -61,16 +62,22 @@ class BackpressureRouter:
         constants: LyapunovConstants,
         rng: np.random.Generator,
         mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+        checker: Optional[ContractChecker] = None,
     ) -> None:
         self._model = model
         self._constants = constants
         self._rng = rng
         self._mode = mode
+        self._checker = checker
 
     @property
     def mode(self) -> RouterMode:
         """The configured capacity mode."""
         return self._mode
+
+    def attach_contracts(self, checker: ContractChecker) -> None:
+        """Validate every routing decision against Eqs. 16-17 and 25."""
+        self._checker = checker
 
     def _link_capacity_pkts(
         self, link: Link, observation: SlotObservation, schedule: ScheduleDecision
@@ -199,4 +206,9 @@ class BackpressureRouter:
             )
             rates[(tx, rx, chosen_sid)] = capacity
 
-        return RoutingDecision(rates=rates)
+        decision = RoutingDecision(rates=rates)
+        if self._checker is not None and self._checker.enabled:
+            self._checker.check_routing(
+                self._model, decision, admission, observation.slot
+            )
+        return decision

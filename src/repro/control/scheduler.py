@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 
+from repro.contracts import ContractChecker
 from repro.control.decisions import ScheduleDecision, SlotObservation
 from repro.core.lyapunov import LyapunovConstants
 from repro.model import NetworkModel
@@ -95,15 +96,21 @@ class LinkScheduler:
         model: NetworkModel,
         constants: LyapunovConstants,
         kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
+        checker: Optional[ContractChecker] = None,
     ) -> None:
         self._model = model
         self._constants = constants
         self._kind = kind
+        self._checker = checker
 
     @property
     def kind(self) -> SchedulerKind:
         """The configured scheduling algorithm."""
         return self._kind
+
+    def attach_contracts(self, checker: ContractChecker) -> None:
+        """Validate every activation set against Eqs. 20-22 and 24."""
+        self._checker = checker
 
     # ------------------------------------------------------------------
     # Candidate construction
@@ -440,7 +447,12 @@ class LinkScheduler:
         else:
             selected = self._select_greedy(weights)
 
-        return self._power_control(selected, observation, h_backlogs)
+        decision = self._power_control(selected, observation, h_backlogs)
+        if self._checker is not None and self._checker.enabled:
+            self._checker.check_schedule(
+                self._model, observation, decision, observation.slot
+            )
+        return decision
 
     def _power_control(
         self,

@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Sequence, Union
+from typing import Any, Iterable, List, Sequence, Tuple, Union
+
+#: ``(headers, rows)`` as consumed by :func:`write_csv`.
+CsvTable = Tuple[List[str], List[Sequence[Any]]]
 
 
 def write_csv(
@@ -27,7 +30,7 @@ def write_csv(
     return target
 
 
-def fig2a_rows(result) -> tuple:
+def fig2a_rows(result: Any) -> CsvTable:
     """``(headers, rows)`` for a :class:`Fig2aResult`."""
     headers = ["V", "upper", "empirical_lower", "formal_lower"]
     rows = [
@@ -37,7 +40,7 @@ def fig2a_rows(result) -> tuple:
     return headers, rows
 
 
-def backlog_rows(result) -> tuple:
+def backlog_rows(result: Any) -> CsvTable:
     """``(headers, rows)`` for a :class:`BacklogFigure`."""
     v_values = sorted(result.series)
     headers = ["slot"] + [f"V={v:g}" for v in v_values]
@@ -49,7 +52,7 @@ def backlog_rows(result) -> tuple:
     return headers, rows
 
 
-def fig2f_rows(result) -> tuple:
+def fig2f_rows(result: Any) -> CsvTable:
     """``(headers, rows)`` for a :class:`Fig2fResult`."""
     pairs = sorted(result.results, key=lambda key: (key[0].value, key[1]))
     headers = ["architecture", "V", "average_cost", "steady_state_cost"]
@@ -65,7 +68,7 @@ def fig2f_rows(result) -> tuple:
     return headers, rows
 
 
-def export_figure(result, path: Union[str, Path]) -> Path:
+def export_figure(result: Any, path: Union[str, Path]) -> Path:
     """Dispatch on the result type and write its CSV."""
     kind = type(result).__name__
     if kind == "Fig2aResult":

@@ -1,0 +1,16 @@
+"""Project-specific AST lint suite (rules R001-R005).
+
+Run as ``python -m repro.lint src tests benchmarks``; see
+``python -m repro.lint --explain`` for the rule catalogue and
+``docs/contracts.md`` for the rationale.  The rules guard the
+reproduction's paper-facing conventions — RNG stream discipline,
+tolerant float comparison on energy/queue quantities, no mutable
+defaults, annotated public surfaces, and equation citations in the
+control/solver modules.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, FileContext, Finding, Rule
+
+__all__ = ["ALL_RULES", "RULES_BY_ID", "FileContext", "Finding", "Rule"]

@@ -1,0 +1,204 @@
+"""Command-line front end for the project lint rules.
+
+Usage::
+
+    python -m repro.lint [PATH ...] [--select R001,R005] [--explain [RULE]]
+
+Paths may be files or directories; directories are walked recursively
+for ``*.py``, skipping VCS/build/cache trees.  Findings print as
+``path:line:col: R00X message`` and the exit status is 1 when any
+finding (or unparsable file) is reported, 0 otherwise — so the command
+slots directly into ``scripts/check.sh`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.rules import ALL_RULES, RULES_BY_ID, FileContext, Finding, Rule
+
+#: Directory names never descended into during discovery.
+SKIP_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".hypothesis",
+        ".pytest_cache",
+        ".mypy_cache",
+        ".ruff_cache",
+        "build",
+        "dist",
+        ".venv",
+        "venv",
+    }
+)
+
+
+def discover_files(paths: Sequence[str]) -> List[Path]:
+    """Expand the CLI path arguments into a sorted list of .py files."""
+    found: List[Path] = []
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root] if root.suffix == ".py" else []
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for path in candidates:
+            if any(
+                part in SKIP_DIRS or part.endswith(".egg-info")
+                for part in path.parts
+            ):
+                continue
+            key = path.resolve()
+            if key not in seen:
+                seen.add(key)
+                found.append(path)
+    return found
+
+
+def lint_source(
+    source: str,
+    display_path: str,
+    rules: Sequence[Rule],
+    path: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint one file's source text; raises SyntaxError on bad input."""
+    tree = ast.parse(source, filename=display_path)
+    ctx = FileContext.build(
+        path=path if path is not None else Path(display_path),
+        display_path=display_path,
+        source=source,
+        tree=tree,
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    return findings
+
+
+def lint_paths(paths: Sequence[str], rules: Sequence[Rule]) -> Iterator[Finding]:
+    """Lint every file under ``paths``, yielding findings in order."""
+    for path in discover_files(paths):
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            yield from sorted(
+                lint_source(source, display, rules, path=path),
+                key=lambda f: (f.line, f.col, f.rule_id),
+            )
+        except SyntaxError as exc:
+            yield Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule_id="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+
+
+def _explain(rule_id: Optional[str]) -> int:
+    """Print the rule catalogue (or one rule's full rationale)."""
+    if rule_id is None:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+        print()
+        print("Use --explain RULE_ID for the full rationale of one rule.")
+        return 0
+    rule = RULES_BY_ID.get(rule_id.upper())
+    if rule is None:
+        print(f"unknown rule id: {rule_id}", file=sys.stderr)
+        return 2
+    print(f"{rule.rule_id} — {rule.title}")
+    print()
+    print(rule.explain)
+    return 0
+
+
+def _select_rules(select: Optional[str]) -> List[Rule]:
+    """Resolve ``--select R001,R002`` into rule instances."""
+    if select is None:
+        return list(ALL_RULES)
+    chosen: List[Rule] = []
+    for token in select.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        rule = RULES_BY_ID.get(token)
+        if rule is None:
+            raise SystemExit(f"repro.lint: unknown rule id in --select: {token}")
+        chosen.append(rule)
+    return chosen
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status.
+
+    Tolerates a downstream pipe closing early (``... | head``) by
+    exiting 141 (128 + SIGPIPE) instead of tracebacking.
+    """
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _run(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Paper-reproduction lint rules (R001-R005).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--explain",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="RULE",
+        help="print the rule catalogue, or one rule's full rationale",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain or None)
+
+    paths = args.paths or ["src", "tests", "benchmarks"]
+    rules = _select_rules(args.select)
+    try:
+        findings = list(lint_paths(paths, rules))
+    except FileNotFoundError as exc:
+        print(f"repro.lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        files = len({f.path for f in findings})
+        print(
+            f"repro.lint: {len(findings)} finding(s) in {files} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.constants import approx_zero
 from repro.types import NodeId, Point
 
 
@@ -98,7 +99,7 @@ class RandomWaypointMobility(MobilityModel):
         position = self._positions[node]
         step = speed * self._slot_seconds
         distance = position.distance_to(waypoint)
-        if distance <= step or distance == 0.0:
+        if distance <= step or approx_zero(distance):
             self._positions[node] = waypoint
             self._legs[node] = self._new_leg()
             return

@@ -13,9 +13,10 @@ per-slot LP of the lower bound), or pass any object with a
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, Optional, Protocol, Union
 
 from repro.config.parameters import ScenarioParameters
+from repro.contracts import ContractChecker, Strictness
 from repro.control.controller import DriftPlusPenaltyController
 from repro.control.decisions import SlotDecision, SlotObservation
 from repro.control.router import RouterMode
@@ -46,6 +47,16 @@ ControllerFactory = Callable[
     [NetworkModel, LyapunovConstants, RngStreams], Controller
 ]
 
+#: Anything :class:`SlotSimulator` accepts as its contracts argument.
+ContractsArg = Union[ContractChecker, Strictness, str, None]
+
+
+def _coerce_contracts(contracts: ContractsArg) -> ContractChecker:
+    """Build the checker from a checker, a strictness, or its name."""
+    if isinstance(contracts, ContractChecker):
+        return contracts
+    return ContractChecker(strictness=contracts)
+
 
 class SlotSimulator:
     """One scenario wired up and ready to run."""
@@ -55,6 +66,7 @@ class SlotSimulator:
         params: ScenarioParameters,
         controller_factory: ControllerFactory,
         enforce_complementarity: bool = True,
+        contracts: ContractsArg = None,
     ) -> None:
         self.params = params
         self.rng = RngStreams(params.seed)
@@ -63,6 +75,10 @@ class SlotSimulator:
         self.state = NetworkState(self.model, self.constants, self.rng.environment)
         self.controller = controller_factory(self.model, self.constants, self.rng)
         self._enforce_complementarity = enforce_complementarity
+        self.contracts = _coerce_contracts(contracts)
+        attach = getattr(self.controller, "attach_contracts", None)
+        if attach is not None and self.contracts.enabled:
+            attach(self.contracts)
         self.metrics = MetricsCollector(
             params.admission_lambda, bs_ids=self.model.bs_ids
         )
@@ -76,6 +92,7 @@ class SlotSimulator:
         scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
         energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
         router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+        contracts: ContractsArg = None,
     ) -> "SlotSimulator":
         """The paper's decomposition controller (Section IV-C)."""
 
@@ -91,11 +108,14 @@ class SlotSimulator:
                 router_mode=router_mode,
             )
 
-        return cls(params, factory)
+        return cls(params, factory, contracts=contracts)
 
     @classmethod
     def relaxed(
-        cls, params: ScenarioParameters, num_cost_segments: int = 24
+        cls,
+        params: ScenarioParameters,
+        num_cost_segments: int = 24,
+        contracts: ContractsArg = None,
     ) -> "SlotSimulator":
         """The exact relaxed-LP controller of the Theorem-5 bound."""
 
@@ -107,7 +127,12 @@ class SlotSimulator:
                 model, constants, num_cost_segments=num_cost_segments
             )
 
-        return cls(params, factory, enforce_complementarity=False)
+        return cls(
+            params,
+            factory,
+            enforce_complementarity=False,
+            contracts=contracts,
+        )
 
     # -- running -------------------------------------------------------------
 
@@ -133,11 +158,21 @@ class SlotSimulator:
         """Advance the simulation by one slot."""
         observation = self.state.observe(slot)
         decision = self.controller.decide(observation, self.state)
+        pre = self.contracts.capture(self.state)
         snapshot = self.state.apply(
             decision,
             slot,
             enforce_complementarity=self._enforce_complementarity,
         )
+        if pre is not None:
+            self.contracts.check_transition(
+                self.model,
+                self.state,
+                decision,
+                pre,
+                slot,
+                enforce_complementarity=self._enforce_complementarity,
+            )
         deficit = sum(getattr(self.controller, "last_deficit_j", {}).values())
         per_session = self._delivered_per_session(decision)
         metrics = self.metrics.record(
@@ -174,6 +209,7 @@ def run_simulation(
     scheduler_kind: SchedulerKind = SchedulerKind.SEQUENTIAL_FIX,
     energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
     router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+    contracts: ContractsArg = None,
 ) -> SimulationResult:
     """One-call convenience: build the integral simulator and run it."""
     simulator = SlotSimulator.integral(
@@ -181,5 +217,6 @@ def run_simulation(
         scheduler_kind=scheduler_kind,
         energy_solver=energy_solver,
         router_mode=router_mode,
+        contracts=contracts,
     )
     return simulator.run()

@@ -1,8 +1,10 @@
 """One-dimensional solvers: monotone root bisection and golden-section.
 
-The S4 price-decomposition solver reduces the coupled energy-management
-program to a fixed point in the marginal grid price; these routines are
-the numerical workhorses behind it.
+The S4 price-decomposition solver (Section IV-C) reduces the coupled
+energy-management program — the slot energy balance of Eqs. 2-3 under
+the battery/grid constraints Eqs. 9-14 — to a fixed point in the
+marginal grid price; these routines are the numerical workhorses
+behind it.
 """
 
 from __future__ import annotations

@@ -1,10 +1,12 @@
 """A named-variable linear-program builder over ``scipy``'s HiGHS.
 
-The scheduling and bound subproblems are naturally expressed over
-variables indexed by structured keys (``(i, j, m)`` link-band triples,
-``(i, j, s)`` routing triples).  ``LinearProgram`` lets callers build
-the model in those terms and converts to the sparse matrix form
-``scipy.optimize.linprog`` expects.  Minimisation only, like scipy.
+The scheduling and bound subproblems — the S1 activation/power LP over
+constraints (20)-(24) and the relaxed lower-bound program P2 — are
+naturally expressed over variables indexed by structured keys
+(``(i, j, m)`` link-band triples, ``(i, j, s)`` routing triples).
+``LinearProgram`` lets callers build the model in those terms and
+converts to the sparse matrix form ``scipy.optimize.linprog`` expects.
+Minimisation only, like scipy.
 """
 
 from __future__ import annotations
@@ -122,7 +124,7 @@ class LinearProgram:
         Variables in ``coeffs`` that were never declared raise; zero
         coefficients are dropped.
         """
-        clean = {k: v for k, v in coeffs.items() if v != 0.0}
+        clean = {k: v for k, v in coeffs.items() if v != 0.0}  # noqa: R002 - dropping exactly-zero coefficients is intentional; near-zero ones must stay
         unknown = [k for k in clean if k not in self._objective]
         if unknown:
             raise SolverError(f"constraint {name!r} uses unknown variables {unknown}")

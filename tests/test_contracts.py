@@ -1,0 +1,192 @@
+"""Tests for the runtime contract layer (``repro.contracts``).
+
+Strategy: run the real tiny scenario with contracts off, capture a
+genuine (pre-state, decision, post-state) triple, then corrupt one
+piece at a time and assert the checker raises a
+:class:`ContractViolation` carrying the *right* equation tag.  A clean
+strict end-to-end run and the warn/off behaviours are covered too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+
+import pytest
+
+from repro.config import tiny_scenario
+from repro.contracts import ContractChecker, ContractViolation, Strictness
+from repro.contracts.checker import coerce_strictness
+from repro.control.decisions import AdmissionDecision, ScheduleDecision
+from repro.sim import SlotSimulator
+from repro.types import Transmission
+
+
+def _warm_simulator(slots=5, num_slots=40):
+    simulator = SlotSimulator.integral(tiny_scenario(num_slots=num_slots))
+    for slot in range(slots):
+        simulator.step(slot)
+    return simulator
+
+
+@pytest.fixture
+def transition():
+    """A genuine (sim, checker, pre, decision, slot) transition triple."""
+    simulator = _warm_simulator()
+    checker = ContractChecker(Strictness.STRICT)
+    slot = 5
+    pre = checker.capture(simulator.state)
+    decision = simulator.step(slot)
+    return simulator, checker, pre, decision, slot
+
+
+class TestStrictness:
+    def test_coerce(self):
+        assert coerce_strictness(None) is Strictness.OFF
+        assert coerce_strictness("warn") is Strictness.WARN
+        assert coerce_strictness(Strictness.STRICT) is Strictness.STRICT
+        with pytest.raises(ValueError):
+            coerce_strictness("loud")
+
+    def test_off_is_inert(self, tiny_model, tiny_state):
+        checker = ContractChecker("off")
+        assert not checker.enabled
+        assert checker.capture(tiny_state) is None
+        # Blatantly invalid admission: silently ignored at off.
+        bogus = AdmissionDecision(sources={0: 10_000}, admitted={0: -5.0})
+        checker.check_admission(tiny_model, bogus)
+        assert checker.violation_count == 0
+
+    def test_warn_logs_each_equation_once(self, tiny_model, caplog):
+        checker = ContractChecker("warn")
+        bogus = AdmissionDecision(sources={0: 10_000}, admitted={0: 0.0})
+        with caplog.at_level(logging.WARNING, logger="repro.contracts"):
+            checker.check_admission(tiny_model, bogus, slot=1)
+            checker.check_admission(tiny_model, bogus, slot=2)
+        assert checker.violation_count == 2
+        assert len(checker.violations) == 2
+        logged = [r for r in caplog.records if "contract violated" in r.message]
+        assert len(logged) == 1
+
+    def test_strict_raises_immediately(self, tiny_model):
+        checker = ContractChecker("strict")
+        bogus = AdmissionDecision(sources={0: 10_000}, admitted={0: 0.0})
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_admission(tiny_model, bogus, slot=7)
+        assert excinfo.value.equation == "Eq. 19"
+        assert excinfo.value.slot == 7
+
+
+class TestTransitionContracts:
+    def test_genuine_transition_is_clean(self, transition):
+        simulator, checker, pre, decision, slot = transition
+        checker.check_transition(
+            simulator.model, simulator.state, decision, pre, slot
+        )
+        assert checker.violation_count == 0
+
+    def test_corrupt_data_queue_raises_eq15(self, transition):
+        simulator, checker, pre, decision, slot = transition
+        key = next(iter(pre.data_backlogs))
+        pre.data_backlogs[key] += 123.0
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_transition(
+                simulator.model, simulator.state, decision, pre, slot
+            )
+        assert excinfo.value.equation == "Eq. 15"
+
+    def test_corrupt_battery_raises_eq10(self, transition):
+        simulator, checker, pre, decision, slot = transition
+        battery = simulator.state.batteries[0]
+        battery._level_j = battery.capacity_j + 5.0
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_transition(
+                simulator.model, simulator.state, decision, pre, slot
+            )
+        assert excinfo.value.equation == "Eq. 10"
+        assert excinfo.value.node == 0
+
+    def test_negative_battery_raises_eq10(self, transition):
+        simulator, checker, pre, decision, slot = transition
+        simulator.state.batteries[1]._level_j = -1.0
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_transition(
+                simulator.model, simulator.state, decision, pre, slot
+            )
+        assert excinfo.value.equation == "Eq. 10"
+
+
+class TestScheduleContracts:
+    def test_radio_overuse_raises_eq22(self, transition):
+        simulator, checker, _pre, _decision, slot = transition
+        model = simulator.model
+        observation = simulator.state.observe(slot + 1)
+        radios = model.nodes[0].radio.num_radios
+        # One more transmission at node 0 than it has radios.
+        transmissions = [
+            Transmission(tx=0, rx=1 + k, band=k, power_w=0.1)
+            for k in range(radios + 1)
+        ]
+        schedule = ScheduleDecision(transmissions=transmissions)
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_schedule(model, observation, schedule, slot)
+        assert excinfo.value.equation == "Eq. 22"
+        assert excinfo.value.node == 0
+
+    def test_self_loop_raises_eq22(self, transition):
+        simulator, checker, _pre, _decision, slot = transition
+        observation = simulator.state.observe(slot + 1)
+        schedule = ScheduleDecision(
+            transmissions=[Transmission(tx=2, rx=2, band=0, power_w=0.1)]
+        )
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_schedule(
+                simulator.model, observation, schedule, slot
+            )
+        assert excinfo.value.equation == "Eq. 22"
+
+    def test_power_above_cap_raises_eq24(self, transition):
+        simulator, checker, _pre, decision, slot = transition
+        scheduled = decision.schedule.transmissions
+        if not scheduled:  # pragma: no cover - tiny scenario always schedules
+            pytest.skip("no transmissions scheduled this slot")
+        observation = simulator.state.observe(slot + 1)
+        cap = simulator.model.max_power_w[scheduled[0].tx]
+        hot = dataclasses.replace(scheduled[0], power_w=10.0 * cap + 1.0)
+        schedule = ScheduleDecision(transmissions=[hot])
+        with pytest.raises(ContractViolation) as excinfo:
+            checker.check_schedule(
+                simulator.model, observation, schedule, slot
+            )
+        assert excinfo.value.equation == "Eq. 24"
+
+
+class TestEndToEnd:
+    def test_strict_tiny_run_is_clean(self):
+        simulator = SlotSimulator.integral(
+            tiny_scenario(num_slots=30), contracts="strict"
+        )
+        simulator.run()
+        assert simulator.contracts is not None
+        assert simulator.contracts.violation_count == 0
+
+    def test_warn_checker_records_on_corrupted_transition(self):
+        simulator = _warm_simulator()
+        checker = ContractChecker("warn")
+        pre = checker.capture(simulator.state)
+        decision = simulator.step(5)
+        pre.data_backlogs[next(iter(pre.data_backlogs))] += 50.0
+        checker.check_transition(
+            simulator.model, simulator.state, decision, pre, 5
+        )
+        assert checker.violation_count > 0
+        assert any(v.equation == "Eq. 15" for v in checker.violations)
+
+    def test_violation_rendering(self):
+        violation = ContractViolation(
+            "Eq. 15", "backlog mismatch", slot=3, node=2, link=(2, 4)
+        )
+        text = str(violation)
+        assert "[Eq. 15]" in text
+        assert "slot 3" in text
+        assert "node 2" in text
