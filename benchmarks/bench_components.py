@@ -6,10 +6,16 @@ wall time) are caught: S1 sequential fix, the full controller slot,
 and the relaxed LP slot.
 """
 
+from pathlib import Path
+
 import numpy as np
 
+from repro.analysis.cli import analyze_paths
+from repro.analysis.equations import audit_equations
 from repro.contracts import ContractChecker
 from repro.sim import SlotSimulator
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _warm_simulator(base, slots=10):
@@ -101,3 +107,20 @@ def test_energy_manager_slot(benchmark, bench_base):
     ]
 
     benchmark(lambda: simulator.controller.energy_manager.manage(inputs))
+
+
+def test_units_analysis_full_tree(benchmark):
+    # The static analyzer gates every CI run and scripts/check.sh, so a
+    # parse+dataflow pass over the whole library must stay cheap.
+    src = str(_REPO_ROOT / "src")
+
+    findings = benchmark(lambda: analyze_paths([src]))
+    assert findings == []
+
+
+def test_equation_audit_full_tree(benchmark):
+    manifest = _REPO_ROOT / "docs" / "equations.toml"
+    src_root = _REPO_ROOT / "src" / "repro"
+
+    result = benchmark(lambda: audit_equations(manifest, src_root))
+    assert result.findings == []

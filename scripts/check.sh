@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # The full local quality gate, in the same order CI runs it:
 #
-#   1. repro.lint  — the project's own AST rules R001-R005 (always runs)
-#   2. ruff        — generic style/bug lint         (if installed)
-#   3. mypy        — strict on the foundation modules (if installed)
-#   4. pytest      — the tier-1 test suite
+#   1. repro.lint     — the project's own AST rules R001-R005 (always runs)
+#   2. repro.analysis — units dataflow R010-R012 + equation audit (always runs)
+#   3. ruff           — generic style/bug lint         (if installed)
+#   4. mypy           — strict on the foundation modules (if installed)
+#   5. pytest         — the tier-1 test suite
 #
 # ruff and mypy are optional-dependency tools (pip install -e '.[lint]');
 # when absent locally they are skipped with a notice — CI always installs
@@ -22,6 +23,12 @@ step() {
 
 step "repro.lint (R001-R005)"
 python -m repro.lint src tests benchmarks || failures=$((failures + 1))
+
+step "repro.analysis units dataflow (R010-R012)"
+python -m repro.analysis src || failures=$((failures + 1))
+
+step "repro.analysis equation audit (EQ001-EQ003)"
+python -m repro.analysis --equations || failures=$((failures + 1))
 
 if command -v ruff > /dev/null 2>&1; then
     step "ruff"

@@ -1,4 +1,10 @@
-"""Analysis helpers: time averages, text tables, bound-gap analysis."""
+"""Analysis: result post-processing and the repo's static analyzers.
+
+Two families share this package: numerical result analysis (time
+averages, tables, bound-gap convergence, replication) and the static
+units/equations analysis behind ``python -m repro.analysis``
+(:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.equations`).
+"""
 
 from repro.analysis.aggregate import (
     mean_confidence_interval,
@@ -18,8 +24,24 @@ from repro.analysis.replication import (
     replicate_summary,
 )
 from repro.analysis.report import build_report
+from repro.analysis.dataflow import ANALYSIS_RULES, UnitDataflowRule
+from repro.analysis.equations import (
+    EquationEntry,
+    audit_equations,
+    load_manifest,
+)
+from repro.analysis.unitlattice import Elem, join, meet, unit_elem
 
 __all__ = [
+    "ANALYSIS_RULES",
+    "UnitDataflowRule",
+    "EquationEntry",
+    "audit_equations",
+    "load_manifest",
+    "Elem",
+    "join",
+    "meet",
+    "unit_elem",
     "mean_confidence_interval",
     "running_time_average",
     "time_average",

@@ -1,0 +1,196 @@
+"""Command-line front end for the static units/equations analysis.
+
+Usage::
+
+    python -m repro.analysis [PATH ...] [--select R010,R012]
+                             [--explain [RULE]] [--format text|json|github]
+    python -m repro.analysis --equations [--manifest docs/equations.toml]
+                             [--src src/repro]
+
+The default invocation runs the units/dimension dataflow analysis
+(rules R010-R012) over the given paths (default: ``src``), reusing the
+``repro.lint`` discovery, noqa and output conventions; ``--equations``
+instead cross-checks the docstring equation citations against the
+``docs/equations.toml`` manifest (rules EQ001-EQ003).  Exit status is
+1 when any finding is reported, 0 when clean, 2 on usage errors —
+identical to ``python -m repro.lint``, so both slot into
+``scripts/check.sh`` and CI the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.dataflow import ANALYSIS_RULES, UnitDataflowRule
+from repro.analysis.equations import (
+    DEFAULT_MANIFEST,
+    DEFAULT_SRC_ROOT,
+    EQUATION_RULES,
+    audit_equations,
+)
+from repro.lint.cli import lint_paths
+from repro.lint.emitter import FORMATS, emit
+from repro.lint.rules import Finding
+
+#: Rule ids the units analysis can emit (E999 rides along for
+#: unparsable files, mirroring the lint CLI).
+UNIT_RULE_IDS = ("R010", "R011", "R012")
+
+
+def analyze_paths(paths: Sequence[str]) -> List[Finding]:
+    """Run the units dataflow analysis over files/directories."""
+    return list(lint_paths(paths, [UnitDataflowRule()]))
+
+
+def _explain(rule_id: Optional[str]) -> int:
+    """Print the analysis rule catalogue (or one rule's rationale)."""
+    if rule_id is None:
+        for info in ANALYSIS_RULES.values():
+            print(f"{info.rule_id}  {info.title}")
+        for eq_id, (title, _) in EQUATION_RULES.items():
+            print(f"{eq_id}  {title}")
+        print()
+        print("Use --explain RULE_ID for the full rationale of one rule.")
+        return 0
+    key = rule_id.upper()
+    info = ANALYSIS_RULES.get(key)
+    if info is not None:
+        print(f"{info.rule_id} — {info.title}")
+        print()
+        print(info.explain)
+        return 0
+    if key in EQUATION_RULES:
+        title, explain = EQUATION_RULES[key]
+        print(f"{key} — {title}")
+        print()
+        print(explain)
+        return 0
+    print(f"unknown rule id: {rule_id}", file=sys.stderr)
+    return 2
+
+
+def _selected_ids(select: Optional[str], valid: Sequence[str]) -> Optional[Set[str]]:
+    """Resolve ``--select`` into a set of rule ids (None = all)."""
+    if select is None:
+        return None
+    chosen: Set[str] = set()
+    for token in select.split(","):
+        token = token.strip().upper()
+        if not token:
+            continue
+        if token not in valid:
+            raise SystemExit(
+                f"repro.analysis: unknown rule id in --select: {token} "
+                f"(valid: {', '.join(valid)})"
+            )
+        chosen.add(token)
+    return chosen
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _run(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static units/dimension analysis (R010-R012) and "
+        "paper-equation coverage audit (EQ001-EQ003).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--equations",
+        action="store_true",
+        help="run the equation-coverage audit instead of the units analysis",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=str(DEFAULT_MANIFEST),
+        metavar="TOML",
+        help="equations manifest path (default: docs/equations.toml)",
+    )
+    parser.add_argument(
+        "--src",
+        default=str(DEFAULT_SRC_ROOT),
+        metavar="DIR",
+        help="tree whose docstrings the audit scans (default: src/repro)",
+    )
+    parser.add_argument(
+        "--explain",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="RULE",
+        help="print the rule catalogue, or one rule's full rationale",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to report (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=FORMATS,
+        default="text",
+        help="output encoding: text lines, a json object, or GitHub "
+        "Actions ::error annotations",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain is not None:
+        return _explain(args.explain or None)
+
+    if args.equations:
+        manifest = Path(args.manifest)
+        src_root = Path(args.src)
+        if not manifest.is_file():
+            print(f"repro.analysis: no such manifest: {manifest}", file=sys.stderr)
+            return 2
+        if not src_root.exists():
+            print(f"repro.analysis: no such source tree: {src_root}", file=sys.stderr)
+            return 2
+        selected = _selected_ids(args.select, tuple(EQUATION_RULES))
+        findings = audit_equations(manifest, src_root).findings
+        label = "equation-audit finding(s)"
+    else:
+        selected = _selected_ids(args.select, UNIT_RULE_IDS)
+        paths = args.paths or ["src"]
+        try:
+            findings = analyze_paths(paths)
+        except FileNotFoundError as exc:
+            print(f"repro.analysis: {exc}", file=sys.stderr)
+            return 2
+        label = "finding(s)"
+
+    if selected is not None:
+        findings = [f for f in findings if f.rule_id in selected or f.rule_id == "E999"]
+
+    emit(findings, args.output_format)
+    if findings:
+        files = len({f.path for f in findings})
+        print(
+            f"repro.analysis: {len(findings)} {label} in {files} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

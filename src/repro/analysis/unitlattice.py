@@ -1,0 +1,192 @@
+"""The unit lattice and dimension algebra of the dataflow analyzer.
+
+Every expression is abstracted to one of four kinds of element:
+
+* ``UNKNOWN`` (top) — no unit information; arithmetic with it yields
+  ``UNKNOWN`` and is never flagged (the analyzer only reports when it
+  *knows* both operands).
+* ``SCALAR`` — a dimensionless numeric literal or pure ratio; adapts
+  to any unit under addition and preserves the other operand under
+  multiplication.
+* ``unit_elem(u)`` — a value carrying the concrete :class:`Unit` ``u``.
+* ``CONFLICT`` (bottom) — contradictory evidence; produced by ``meet``
+  on incompatible elements, never propagated by arithmetic (after a
+  mismatch is reported the result degrades to ``UNKNOWN`` so one bug
+  yields one finding, not a cascade).
+
+``join`` merges control-flow branches (toward ``UNKNOWN``); ``meet``
+intersects constraints (toward ``CONFLICT``).  The product/quotient
+tables encode the only cross-dimension algebra the library uses:
+power x time = energy and rate x time = volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.units import UNIT_BY_SYMBOL, Unit
+
+
+@dataclass(frozen=True)
+class Elem:
+    """One lattice element; ``unit`` is set only for ``kind='unit'``."""
+
+    kind: str
+    unit: Optional[Unit] = None
+
+    def __repr__(self) -> str:
+        if self.kind == "unit":
+            assert self.unit is not None
+            return f"<{self.unit.symbol}>"
+        return f"<{self.kind}>"
+
+
+UNKNOWN = Elem("unknown")
+SCALAR = Elem("scalar")
+CONFLICT = Elem("conflict")
+
+
+def unit_elem(unit: Unit) -> Elem:
+    """The lattice element carrying ``unit``."""
+    return Elem("unit", unit)
+
+
+def from_symbol(symbol: str) -> Elem:
+    """Element for a canonical unit symbol (``"J"``, ``"W"``, ...)."""
+    return unit_elem(UNIT_BY_SYMBOL[symbol])
+
+
+def is_linear(elem: Elem) -> bool:
+    """True for dimensionless elements (``SCALAR`` or the ``lin`` unit)."""
+    if elem is SCALAR or elem.kind == "scalar":
+        return True
+    return elem.kind == "unit" and elem.unit is not None and elem.unit.dimension == "dimensionless"
+
+
+def join(a: Elem, b: Elem) -> Elem:
+    """Least upper bound: the merge of two control-flow branches."""
+    if a == b:
+        return a
+    if a.kind == "conflict":
+        return b
+    if b.kind == "conflict":
+        return a
+    # Distinct units, or scalar vs. unit, or anything vs. unknown: the
+    # only common ancestor is "no information".
+    return UNKNOWN
+
+
+def meet(a: Elem, b: Elem) -> Elem:
+    """Greatest lower bound: both constraints asserted at once."""
+    if a == b:
+        return a
+    if a.kind == "unknown":
+        return b
+    if b.kind == "unknown":
+        return a
+    return CONFLICT
+
+
+#: ``symbol_a * symbol_b -> symbol`` (checked in both orders).
+_PRODUCTS: Dict[Tuple[str, str], str] = {
+    ("W", "s"): "J",
+    ("bit/s", "s"): "bit",
+    ("packet/slot", "s"): "packet",  # only via an explicit slot count
+    ("$/kWh", "kWh"): "$",
+    ("$/J", "J"): "$",
+}
+
+#: ``numerator / denominator -> symbol``.
+_QUOTIENTS: Dict[Tuple[str, str], str] = {
+    ("J", "s"): "W",
+    ("J", "W"): "s",
+    ("bit", "s"): "bit/s",
+    ("bit", "bit/s"): "s",
+    ("$", "kWh"): "$/kWh",
+    ("$", "J"): "$/J",
+}
+
+
+def classify_mismatch(a: Unit, b: Unit) -> str:
+    """The rule id a mismatched ``a`` vs. ``b`` pair falls under.
+
+    * R011 — either side is on the logarithmic dB scale;
+    * R012 — both are rates, one per-slot and one per-second;
+    * R010 — every other incompatible pair (including same-dimension
+      scale mixes like J vs. kWh, which also need a converter).
+    """
+    if a.dimension == "level" or b.dimension == "level":
+        return "R011"
+    if a.per is not None and b.per is not None and a.per != b.per:
+        return "R012"
+    return "R010"
+
+
+def add_result(a: Elem, b: Elem) -> Tuple[Elem, Optional[Tuple[Unit, Unit]]]:
+    """Abstract ``a + b`` / ``a - b`` (and comparisons).
+
+    Returns the result element and, when both operands carry known but
+    different units, the mismatched pair for the caller to report.
+    """
+    if a.kind == "unit" and b.kind == "unit":
+        assert a.unit is not None and b.unit is not None
+        if a.unit.symbol == b.unit.symbol:
+            return a, None
+        return UNKNOWN, (a.unit, b.unit)
+    if a.kind == "unit" and is_linear(b):
+        return a, None
+    if b.kind == "unit" and is_linear(a):
+        return b, None
+    if a.kind == "scalar" and b.kind == "scalar":
+        return SCALAR, None
+    return UNKNOWN, None
+
+
+def mul_result(a: Elem, b: Elem) -> Tuple[Elem, Optional[Tuple[Unit, Unit]]]:
+    """Abstract ``a * b``; dB x dB (or dB x unit) is the R011 pair."""
+    if a.kind == "unit" and b.kind == "unit":
+        assert a.unit is not None and b.unit is not None
+        if a.unit.dimension == "level" or b.unit.dimension == "level":
+            # Multiplying a dB value by anything but a plain scalar is
+            # the log/linear confusion R011 exists for.
+            return UNKNOWN, (a.unit, b.unit)
+        if a.unit.dimension == "dimensionless":
+            return b, None
+        if b.unit.dimension == "dimensionless":
+            return a, None
+        product = _PRODUCTS.get((a.unit.symbol, b.unit.symbol)) or _PRODUCTS.get(
+            (b.unit.symbol, a.unit.symbol)
+        )
+        if product is not None:
+            return from_symbol(product), None
+        return UNKNOWN, None
+    if a.kind == "unit" and b.kind == "scalar":
+        return a, None
+    if b.kind == "unit" and a.kind == "scalar":
+        return b, None
+    if a.kind == "scalar" and b.kind == "scalar":
+        return SCALAR, None
+    return UNKNOWN, None
+
+
+def div_result(a: Elem, b: Elem) -> Tuple[Elem, Optional[Tuple[Unit, Unit]]]:
+    """Abstract ``a / b``; same-dimension quotients become scalars."""
+    if a.kind == "unit" and b.kind == "unit":
+        assert a.unit is not None and b.unit is not None
+        if a.unit.dimension == "level" or b.unit.dimension == "level":
+            return UNKNOWN, (a.unit, b.unit)
+        if b.unit.dimension == "dimensionless":
+            return a, None
+        quotient = _QUOTIENTS.get((a.unit.symbol, b.unit.symbol))
+        if quotient is not None:
+            return from_symbol(quotient), None
+        if a.unit.dimension == b.unit.dimension:
+            # J / kWh, bit/s / kbit/s, ...: a pure (scale) ratio.
+            return SCALAR, None
+        return UNKNOWN, None
+    if a.kind == "unit" and b.kind == "scalar":
+        return a, None
+    if a.kind == "scalar" and b.kind == "scalar":
+        return SCALAR, None
+    return UNKNOWN, None

@@ -23,6 +23,7 @@ from repro.types import (
     RenewableKind,
     TrafficPattern,
 )
+from repro.units import Bits, Hertz, Joules, Kbps, Linear, Meters, Seconds, Watts
 
 
 @dataclass(frozen=True)
@@ -42,19 +43,21 @@ class NodeParameters:
             activity per node per band.
     """
 
-    max_tx_power_w: float
-    recv_power_w: float
-    const_power_w: float
-    idle_power_w: float
+    max_tx_power_w: Watts
+    recv_power_w: Watts
+    const_power_w: Watts
+    idle_power_w: Watts
     num_radios: int = 1
 
     def __post_init__(self) -> None:
         if self.num_radios < 1:
             raise ValueError(f"num_radios must be >= 1, got {self.num_radios}")
 
-    def fixed_energy_j(self, slot_seconds: float) -> float:
+    def fixed_energy_j(self, slot_seconds: Seconds) -> Joules:
         """Energy consumed per slot independent of traffic (Eq. 2)."""
-        return (self.const_power_w + self.idle_power_w) * slot_seconds
+        return constants.watts_over_slot_to_joules(
+            self.const_power_w + self.idle_power_w, slot_seconds
+        )
 
 
 @dataclass(frozen=True)
@@ -77,11 +80,11 @@ class EnergyParameters:
             to the load (1.0 in the paper).
     """
 
-    renewable_max_w: float
-    battery_capacity_j: float
-    charge_cap_j: float
-    discharge_cap_j: float
-    grid_cap_j: float
+    renewable_max_w: Watts
+    battery_capacity_j: Joules
+    charge_cap_j: Joules
+    discharge_cap_j: Joules
+    grid_cap_j: Joules
     grid_connect_prob: float
     charge_efficiency: float = 1.0
     discharge_efficiency: float = 1.0
@@ -112,7 +115,7 @@ class SpectrumParameters:
     subset of the random bands (always including the cellular band).
     """
 
-    cellular_bandwidth_hz: float = 1e6
+    cellular_bandwidth_hz: Hertz = 1e6
     num_random_bands: int = 4
     random_bandwidth_range_hz: Tuple[float, float] = (1e6, 2e6)
     user_band_access_prob: float = 0.6
@@ -152,19 +155,19 @@ class SessionParameters:
     """
 
     num_sessions: int = 5
-    demand_kbps: float = 100.0
-    packet_size_bits: float = 64000.0
+    demand_kbps: Kbps = 100.0
+    packet_size_bits: Bits = 64000.0
     admission_max_packets: Optional[int] = None
     traffic_pattern: TrafficPattern = TrafficPattern.CONSTANT
     pattern_period_slots: int = 20
     destination_strategy: DestinationStrategy = DestinationStrategy.RANDOM
 
-    def demand_packets_per_slot(self, slot_seconds: float) -> int:
+    def demand_packets_per_slot(self, slot_seconds: Seconds) -> int:
         """``v_s(t)``: per-slot demand in whole packets."""
         bits = constants.kbps_to_bits_per_slot(self.demand_kbps, slot_seconds)
         return max(1, int(round(bits / self.packet_size_bits)))
 
-    def k_max(self, slot_seconds: float) -> int:
+    def k_max(self, slot_seconds: Seconds) -> int:
         """``K_max``: admission cap in packets per slot."""
         if self.admission_max_packets is not None:
             return self.admission_max_packets
@@ -176,7 +179,7 @@ class ScenarioParameters:
     """A complete, immutable description of one simulation scenario."""
 
     # --- deployment ----------------------------------------------------
-    area_side_m: float = 2000.0
+    area_side_m: Meters = 2000.0
     num_users: int = 20
     base_station_positions: Tuple[Point, ...] = (
         Point(500.0, 500.0),
@@ -194,7 +197,7 @@ class ScenarioParameters:
     # each, which is exactly the contrast Fig. 2(f) measures.
     path_loss_exponent: float = constants.PAPER_PATH_LOSS_EXPONENT
     propagation_constant: float = constants.PAPER_PROPAGATION_CONSTANT
-    sinr_threshold: float = constants.PAPER_SINR_THRESHOLD
+    sinr_threshold: Linear = constants.PAPER_SINR_THRESHOLD
     noise_density_w_per_hz: float = 1e-16
 
     # --- radio / platform ----------------------------------------------
@@ -246,7 +249,7 @@ class ScenarioParameters:
     cost_a: float = 0.8
     cost_b: float = 0.2
     cost_c: float = 0.0
-    cost_energy_unit_j: float = 1e3
+    cost_energy_unit_j: Joules = 1e3
     #: Optional time-of-use multiplier schedule: slot t uses
     #: ``multipliers[t % len]`` times the base cost.  None (the paper's
     #: model) keeps the tariff flat.  A varying tariff is where battery
@@ -282,7 +285,7 @@ class ScenarioParameters:
     queue_semantics: QueueSemantics = QueueSemantics.PAPER
 
     # --- simulation -------------------------------------------------------
-    slot_seconds: float = constants.SECONDS_PER_MINUTE
+    slot_seconds: Seconds = constants.SECONDS_PER_MINUTE
     num_slots: int = 100
     seed: int = 2014
     #: Candidate links are limited to the k nearest neighbours of each

@@ -10,6 +10,16 @@ from __future__ import annotations
 
 import math
 
+from repro.units import (
+    BitsPerSlot,
+    Joules,
+    Kbps,
+    KilowattHours,
+    Seconds,
+    WattHours,
+    Watts,
+)
+
 #: Seconds in one minute (the paper's slot duration is one minute).
 SECONDS_PER_MINUTE: float = 60.0
 
@@ -59,31 +69,31 @@ def approx_zero(x: float, abs_tol: float = FEASIBILITY_EPS) -> bool:
     return abs(x) <= abs_tol
 
 
-def kwh_to_joules(kwh: float) -> float:
+def kwh_to_joules(kwh: KilowattHours) -> Joules:
     """Convert kilowatt-hours to joules."""
     return kwh * JOULES_PER_KWH
 
 
-def wh_to_joules(wh: float) -> float:
+def wh_to_joules(wh: WattHours) -> Joules:
     """Convert watt-hours to joules."""
     return wh * JOULES_PER_WH
 
 
-def joules_to_kwh(joules: float) -> float:
+def joules_to_kwh(joules: Joules) -> KilowattHours:
     """Convert joules to kilowatt-hours."""
     return joules / JOULES_PER_KWH
 
 
-def joules_to_wh(joules: float) -> float:
+def joules_to_wh(joules: Joules) -> WattHours:
     """Convert joules to watt-hours."""
     return joules / JOULES_PER_WH
 
 
-def watts_over_slot_to_joules(watts: float, slot_seconds: float) -> float:
+def watts_over_slot_to_joules(watts: Watts, slot_seconds: Seconds) -> Joules:
     """Energy in joules delivered by a constant power over one slot."""
     return watts * slot_seconds
 
 
-def kbps_to_bits_per_slot(kbps: float, slot_seconds: float) -> float:
+def kbps_to_bits_per_slot(kbps: Kbps, slot_seconds: Seconds) -> BitsPerSlot:
     """Convert a rate in kilobits/second to bits per slot."""
     return kbps * 1e3 * slot_seconds

@@ -36,6 +36,7 @@ from repro.exceptions import InfeasibleError, SolverError
 from repro.model import NetworkModel
 from repro.solvers.bisection import bisect_root
 from repro.types import EnergySolverKind, NodeId
+from repro.units import DollarsPerJoule, Joules
 
 #: Bisection bracket tolerance: must be far below the +/- probe offset
 #: used by the marginal repair step, or both probes can land on the
@@ -61,29 +62,29 @@ class NodeEnergyInputs:
 
     node: NodeId
     is_base_station: bool
-    demand_j: float
-    renewable_j: float
+    demand_j: Joules
+    renewable_j: Joules
     grid_connected: bool
-    grid_cap_j: float
-    charge_cap_j: float
-    discharge_cap_j: float
-    z: float
+    grid_cap_j: Joules
+    charge_cap_j: Joules
+    discharge_cap_j: Joules
+    z: Joules
     charge_efficiency: float = 1.0
     discharge_efficiency: float = 1.0
 
     @property
-    def usable_grid_j(self) -> float:
+    def usable_grid_j(self) -> Joules:
         """Grid supply available this slot (0 when disconnected)."""
         return self.grid_cap_j if self.grid_connected else 0.0
 
     @property
-    def max_supply_j(self) -> float:
+    def max_supply_j(self) -> Joules:
         """Most demand this node could possibly serve this slot."""
         return self.renewable_j + self.usable_grid_j + self.discharge_cap_j
 
 
 def _serve_mode_allocation(
-    inputs: NodeEnergyInputs, grid_price: float
+    inputs: NodeEnergyInputs, grid_price: DollarsPerJoule
 ) -> Tuple[NodeEnergyAllocation, float]:
     """Discharge-mode optimum: serve demand, never charge.
 
@@ -128,7 +129,7 @@ def _serve_mode_allocation(
 
 
 def _charge_mode_allocation(
-    inputs: NodeEnergyInputs, grid_price: float
+    inputs: NodeEnergyInputs, grid_price: DollarsPerJoule
 ) -> Tuple[NodeEnergyAllocation, float] | None:
     """Charge-mode optimum: serve demand without discharging, charge.
 
@@ -190,7 +191,7 @@ def _charge_mode_allocation(
 
 
 def _quadratic_charge_mode(
-    inputs: NodeEnergyInputs, grid_price: float
+    inputs: NodeEnergyInputs, grid_price: DollarsPerJoule
 ) -> Tuple[NodeEnergyAllocation, float] | None:
     """Exact-drift charge mode.
 
@@ -240,7 +241,7 @@ def _quadratic_charge_mode(
 
 
 def _quadratic_serve_mode(
-    inputs: NodeEnergyInputs, grid_price: float
+    inputs: NodeEnergyInputs, grid_price: DollarsPerJoule
 ) -> Tuple[NodeEnergyAllocation, float]:
     """Exact-drift discharge mode.
 
@@ -310,7 +311,7 @@ def _node_response(
 
 
 def _allocation_given_grid(
-    inputs: NodeEnergyInputs, grid_draw_j: float, exact_drift: bool = False
+    inputs: NodeEnergyInputs, grid_draw_j: Joules, exact_drift: bool = False
 ) -> NodeEnergyAllocation:
     """Node-optimal allocation with total grid draw pinned (``z < 0``).
 

@@ -1,9 +1,10 @@
-"""Energy storage units (Eqs. 4 and 9-13 of the paper).
+"""Energy storage units (Eqs. 4 and 7-13 of the paper).
 
 Each node owns one :class:`Battery`.  Per slot the energy manager picks
 a :class:`BatteryAction` — a charge amount and a discharge amount, of
 which at most one may be positive (the charge-xor-discharge
-complementarity constraint (9)) — and :meth:`Battery.apply` advances
+complementarity constraint (9), which implies (7)-(8)) — and
+:meth:`Battery.apply` advances
 the energy-queue law ``x(t+1) = x(t) + c(t) - d(t)`` while enforcing
 every storage invariant.
 """
@@ -14,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import EnergyError
+from repro.units import Joules
 
 
 @dataclass(frozen=True)
@@ -25,8 +27,8 @@ class BatteryAction:
         discharge_j: ``d_i(t)`` — energy drawn from the unit.
     """
 
-    charge_j: float = 0.0
-    discharge_j: float = 0.0
+    charge_j: Joules = 0.0
+    discharge_j: Joules = 0.0
 
     def __post_init__(self) -> None:
         if self.charge_j < -FEASIBILITY_EPS:
@@ -42,7 +44,7 @@ class BatteryAction:
             )
 
     @property
-    def net_j(self) -> float:
+    def net_j(self) -> Joules:
         """Net energy into the unit: ``c(t) - d(t)``."""
         return self.charge_j - self.discharge_j
 
@@ -63,10 +65,10 @@ class Battery:
 
     def __init__(
         self,
-        capacity_j: float,
-        charge_cap_j: float,
-        discharge_cap_j: float,
-        initial_level_j: float = 0.0,
+        capacity_j: Joules,
+        charge_cap_j: Joules,
+        discharge_cap_j: Joules,
+        initial_level_j: Joules = 0.0,
         charge_efficiency: float = 1.0,
         discharge_efficiency: float = 1.0,
     ) -> None:
@@ -99,11 +101,11 @@ class Battery:
         self._level_j = initial_level_j
 
     @property
-    def level_j(self) -> float:
+    def level_j(self) -> Joules:
         """Current stored energy ``x_i(t)`` (J)."""
         return self._level_j
 
-    def max_charge_j(self) -> float:
+    def max_charge_j(self) -> Joules:
         """Constraint (11) on *input* energy: caps and headroom.
 
         With charge losses, input energy ``c`` stores ``eta_c * c``, so
@@ -112,11 +114,11 @@ class Battery:
         headroom = (self.capacity_j - self._level_j) / self.charge_efficiency
         return min(self.charge_cap_j, headroom)
 
-    def max_discharge_j(self) -> float:
+    def max_discharge_j(self) -> Joules:
         """Constraint (12) on drained energy: ``min(d_max, x(t))``."""
         return min(self.discharge_cap_j, self._level_j)
 
-    def max_deliverable_j(self) -> float:
+    def max_deliverable_j(self) -> Joules:
         """Most energy one slot's discharge can deliver to the load."""
         return self.discharge_efficiency * self.max_discharge_j()
 
@@ -133,7 +135,7 @@ class Battery:
                 f"> min(d_max, level) = {self.max_discharge_j()} J"
             )
 
-    def apply(self, action: BatteryAction) -> float:
+    def apply(self, action: BatteryAction) -> Joules:
         """Advance the energy-queue law (Eq. 4, with efficiencies).
 
         ``x(t+1) = x(t) + eta_c * c(t) - d(t)``; the load receives

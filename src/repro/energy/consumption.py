@@ -13,15 +13,17 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from repro.config.parameters import NodeParameters
+from repro.constants import watts_over_slot_to_joules
 from repro.types import NodeId, Transmission
+from repro.units import Joules, Seconds, Watts
 
 
 def transmission_energy_j(
     node: NodeId,
     transmissions: Iterable[Transmission],
-    recv_power_w: float,
-    slot_seconds: float,
-) -> float:
+    recv_power_w: Watts,
+    slot_seconds: Seconds,
+) -> Joules:
     """``E_TX_i(t)`` of Eq. (23) for node ``node``.
 
     Args:
@@ -38,9 +40,9 @@ def transmission_energy_j(
     energy = 0.0
     for t in transmissions:
         if t.tx == node:
-            energy += t.power_w * slot_seconds
+            energy += watts_over_slot_to_joules(t.power_w, slot_seconds)
         elif t.rx == node:
-            energy += recv_power_w * slot_seconds
+            energy += watts_over_slot_to_joules(recv_power_w, slot_seconds)
     return energy
 
 
@@ -48,8 +50,8 @@ def node_energy_demand_j(
     node: NodeId,
     node_params: NodeParameters,
     transmissions: Iterable[Transmission],
-    slot_seconds: float,
-) -> float:
+    slot_seconds: Seconds,
+) -> Joules:
     """Total slot demand ``E_i(t)`` of Eq. (2)."""
     return node_params.fixed_energy_j(slot_seconds) + transmission_energy_j(
         node, transmissions, node_params.recv_power_w, slot_seconds
@@ -59,14 +61,16 @@ def node_energy_demand_j(
 def all_node_demands_j(
     node_params_by_id: Dict[NodeId, NodeParameters],
     transmissions: Iterable[Transmission],
-    slot_seconds: float,
-) -> Dict[NodeId, float]:
+    slot_seconds: Seconds,
+) -> Dict[NodeId, Joules]:
     """``E_i(t)`` for every node, in one pass over the schedule."""
     demands = {
         node: params.fixed_energy_j(slot_seconds)
         for node, params in node_params_by_id.items()
     }
     for t in transmissions:
-        demands[t.tx] += t.power_w * slot_seconds
-        demands[t.rx] += node_params_by_id[t.rx].recv_power_w * slot_seconds
+        demands[t.tx] += watts_over_slot_to_joules(t.power_w, slot_seconds)
+        demands[t.rx] += watts_over_slot_to_joules(
+            node_params_by_id[t.rx].recv_power_w, slot_seconds
+        )
     return demands

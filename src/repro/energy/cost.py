@@ -17,20 +17,21 @@ import bisect
 from typing import List, Sequence, Tuple
 
 from repro.constants import JOULES_PER_KWH
+from repro.units import Dollars, DollarsPerJoule, DollarsPerKwh, Joules
 
 
 class CostFunction(abc.ABC):
     """Interface for a convex, non-decreasing generation cost."""
 
     @abc.abstractmethod
-    def value(self, energy_j: float) -> float:
+    def value(self, energy_j: Joules) -> Dollars:
         """Cost of drawing ``energy_j`` joules from the grid in a slot."""
 
     @abc.abstractmethod
-    def derivative(self, energy_j: float) -> float:
+    def derivative(self, energy_j: Joules) -> DollarsPerJoule:
         """Marginal cost ``f'(P)`` at ``energy_j`` (right-derivative)."""
 
-    def max_derivative(self, cap_j: float) -> float:
+    def max_derivative(self, cap_j: Joules) -> DollarsPerJoule:
         """``gamma_max``: the largest marginal cost on ``[0, cap_j]``.
 
         Convexity makes ``f'`` non-decreasing, so the maximum sits at
@@ -74,17 +75,17 @@ class QuadraticCost(CostFunction):
         """Build from coefficients stated for ``P`` in kWh (the paper's)."""
         return cls.from_unit_coefficients(a_kwh, b_kwh, c_kwh, JOULES_PER_KWH)
 
-    def value(self, energy_j: float) -> float:
+    def value(self, energy_j: Joules) -> Dollars:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         return self.a * energy_j**2 + self.b * energy_j + self.c
 
-    def derivative(self, energy_j: float) -> float:
+    def derivative(self, energy_j: Joules) -> DollarsPerJoule:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         return 2.0 * self.a * energy_j + self.b
 
-    def inverse_derivative(self, price: float) -> float:
+    def inverse_derivative(self, price: DollarsPerJoule) -> Joules:
         """The ``P >= 0`` with ``f'(P) = price`` (0 if price <= b)."""
         if self.a == 0:
             raise ValueError("inverse derivative undefined for linear cost")
@@ -94,22 +95,22 @@ class QuadraticCost(CostFunction):
 class LinearCost(CostFunction):
     """``f(P) = rate * P``: a flat per-joule tariff."""
 
-    def __init__(self, rate_per_j: float) -> None:
+    def __init__(self, rate_per_j: DollarsPerJoule) -> None:
         if rate_per_j < 0:
             raise ValueError(f"rate must be non-negative, got {rate_per_j}")
         self.rate_per_j = rate_per_j
 
     @classmethod
-    def from_kwh_rate(cls, rate_per_kwh: float) -> "LinearCost":
+    def from_kwh_rate(cls, rate_per_kwh: DollarsPerKwh) -> "LinearCost":
         """Build from a $/kWh tariff."""
         return cls(rate_per_kwh / JOULES_PER_KWH)
 
-    def value(self, energy_j: float) -> float:
+    def value(self, energy_j: Joules) -> Dollars:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         return self.rate_per_j * energy_j
 
-    def derivative(self, energy_j: float) -> float:
+    def derivative(self, energy_j: Joules) -> DollarsPerJoule:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         return self.rate_per_j
@@ -123,7 +124,7 @@ class PiecewiseLinearCost(CostFunction):
     """
 
     def __init__(
-        self, breakpoints_j: Sequence[float], rates_per_j: Sequence[float]
+        self, breakpoints_j: Sequence[Joules], rates_per_j: Sequence[DollarsPerJoule]
     ) -> None:
         if len(rates_per_j) != len(breakpoints_j) + 1:
             raise ValueError(
@@ -141,7 +142,7 @@ class PiecewiseLinearCost(CostFunction):
         self.breakpoints_j: List[float] = list(breakpoints_j)
         self.rates_per_j: List[float] = list(rates_per_j)
 
-    def value(self, energy_j: float) -> float:
+    def value(self, energy_j: Joules) -> Dollars:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         total = 0.0
@@ -153,7 +154,7 @@ class PiecewiseLinearCost(CostFunction):
             prev = boundary
         return total + self.rates_per_j[-1] * (energy_j - prev)
 
-    def derivative(self, energy_j: float) -> float:
+    def derivative(self, energy_j: Joules) -> DollarsPerJoule:
         if energy_j < 0:
             raise ValueError(f"energy must be non-negative, got {energy_j}")
         index = bisect.bisect_right(self.breakpoints_j, energy_j)
@@ -183,6 +184,6 @@ class TimeOfUseCost:
         m = self.multipliers[slot % len(self.multipliers)]
         return QuadraticCost(self.base.a * m, self.base.b * m, self.base.c * m)
 
-    def max_derivative(self, cap_j: float) -> float:
+    def max_derivative(self, cap_j: Joules) -> DollarsPerJoule:
         """``gamma_max`` across all slots (worst multiplier at the cap)."""
         return max(self.at_slot(s).max_derivative(cap_j) for s in range(len(self.multipliers)))

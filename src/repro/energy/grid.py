@@ -2,9 +2,9 @@
 
 Base stations are always grid-connected (``omega = 1``); mobile users
 are connected intermittently via an i.i.d. Bernoulli process ``xi_i(t)``
-(Section II-D).  The amount a node draws per slot — demand-serving
-``g_i(t)`` plus battery-charging ``c^g_i(t)`` — is capped by ``p_max``
-(constraint 14).
+(Eqs. 5-6, Section II-D).  The amount a node draws per slot — demand-
+serving ``g_i(t)`` plus battery-charging ``c^g_i(t)`` — is capped by
+``p_max`` (constraint 14).
 
 ``ScriptedGridConnection`` extends the model with deterministic outage
 windows for resilience studies (failure injection): during an outage
@@ -18,6 +18,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import EnergyError
+from repro.units import Joules
 
 
 class GridConnection:
@@ -31,7 +32,7 @@ class GridConnection:
 
     def __init__(
         self,
-        draw_cap_j: float,
+        draw_cap_j: Joules,
         connect_prob: float,
         rng: np.random.Generator,
     ) -> None:
@@ -57,7 +58,7 @@ class GridConnection:
             return False
         return bool(self._rng.random() < self.connect_prob)
 
-    def validate_draw(self, serve_j: float, charge_j: float, connected: bool) -> None:
+    def validate_draw(self, serve_j: Joules, charge_j: Joules, connected: bool) -> None:
         """Check constraint (14) for one slot's grid usage.
 
         Args:
@@ -97,7 +98,7 @@ class ScriptedGridConnection(GridConnection):
 
     def __init__(
         self,
-        draw_cap_j: float,
+        draw_cap_j: Joules,
         connect_prob: float,
         rng: np.random.Generator,
         outages: Sequence[Tuple[int, int]] = (),

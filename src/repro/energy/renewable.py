@@ -17,17 +17,20 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.constants import watts_over_slot_to_joules
+from repro.units import Joules, Seconds, Watts
+
 
 class RenewableProcess(abc.ABC):
     """Interface: per-slot renewable energy output of one node."""
 
     @abc.abstractmethod
-    def sample(self, slot: int) -> float:
+    def sample(self, slot: int) -> Joules:
         """Energy harvested in ``slot`` (J), in ``[0, max_output_j]``."""
 
     @property
     @abc.abstractmethod
-    def max_output_j(self) -> float:
+    def max_output_j(self) -> Joules:
         """The a.s. upper bound ``R_max * slot_seconds`` (J)."""
 
 
@@ -35,33 +38,33 @@ class UniformRenewableProcess(RenewableProcess):
     """I.i.d. uniform output on ``[0, max_power_w]`` (the paper's model)."""
 
     def __init__(
-        self, max_power_w: float, slot_seconds: float, rng: np.random.Generator
+        self, max_power_w: Watts, slot_seconds: Seconds, rng: np.random.Generator
     ) -> None:
         if max_power_w < 0:
             raise ValueError(f"max power must be non-negative, got {max_power_w}")
         if slot_seconds <= 0:
             raise ValueError(f"slot length must be positive, got {slot_seconds}")
-        self._max_output_j = max_power_w * slot_seconds
+        self._max_output_j = watts_over_slot_to_joules(max_power_w, slot_seconds)
         self._rng = rng
 
-    def sample(self, slot: int) -> float:
+    def sample(self, slot: int) -> Joules:
         del slot  # i.i.d. process
         return float(self._rng.uniform(0.0, self._max_output_j))
 
     @property
-    def max_output_j(self) -> float:
+    def max_output_j(self) -> Joules:
         return self._max_output_j
 
 
 class ZeroRenewableProcess(RenewableProcess):
     """No renewable generation (baselines without renewables)."""
 
-    def sample(self, slot: int) -> float:
+    def sample(self, slot: int) -> Joules:
         del slot
         return 0.0
 
     @property
-    def max_output_j(self) -> float:
+    def max_output_j(self) -> Joules:
         return 0.0
 
 
@@ -75,8 +78,8 @@ class DiurnalSolarProcess(RenewableProcess):
 
     def __init__(
         self,
-        peak_power_w: float,
-        slot_seconds: float,
+        peak_power_w: Watts,
+        slot_seconds: Seconds,
         rng: np.random.Generator,
         slots_per_day: int = 1440,
         noise: float = 0.3,
@@ -89,19 +92,19 @@ class DiurnalSolarProcess(RenewableProcess):
             raise ValueError(f"slots_per_day must be >= 1, got {slots_per_day}")
         if not 0.0 <= noise <= 1.0:
             raise ValueError(f"noise must be in [0, 1], got {noise}")
-        self._max_output_j = peak_power_w * slot_seconds
+        self._max_output_j = watts_over_slot_to_joules(peak_power_w, slot_seconds)
         self._slots_per_day = slots_per_day
         self._noise = noise
         self._rng = rng
 
-    def sample(self, slot: int) -> float:
+    def sample(self, slot: int) -> Joules:
         phase = 2.0 * math.pi * (slot % self._slots_per_day) / self._slots_per_day
         irradiance = max(0.0, math.sin(phase))
         cloud = self._rng.uniform(1.0 - self._noise, 1.0)
         return self._max_output_j * irradiance * cloud
 
     @property
-    def max_output_j(self) -> float:
+    def max_output_j(self) -> Joules:
         return self._max_output_j
 
 
@@ -115,8 +118,8 @@ class MarkovWindProcess(RenewableProcess):
 
     def __init__(
         self,
-        max_power_w: float,
-        slot_seconds: float,
+        max_power_w: Watts,
+        slot_seconds: Seconds,
         rng: np.random.Generator,
         levels: Sequence[float] = (0.1, 0.5, 0.9),
         persistence: float = 0.8,
@@ -131,13 +134,13 @@ class MarkovWindProcess(RenewableProcess):
             raise ValueError(f"levels must lie in [0, 1], got {levels!r}")
         if not 0.0 <= persistence <= 1.0:
             raise ValueError(f"persistence must be in [0, 1], got {persistence}")
-        self._max_output_j = max_power_w * slot_seconds
+        self._max_output_j = watts_over_slot_to_joules(max_power_w, slot_seconds)
         self._levels = list(levels)
         self._persistence = persistence
         self._rng = rng
         self._state = int(rng.integers(0, len(self._levels)))
 
-    def sample(self, slot: int) -> float:
+    def sample(self, slot: int) -> Joules:
         del slot  # the chain carries its own state
         if self._rng.random() > self._persistence:
             self._state = int(self._rng.integers(0, len(self._levels)))
@@ -146,5 +149,5 @@ class MarkovWindProcess(RenewableProcess):
         return self._max_output_j * self._levels[self._state] * jitter
 
     @property
-    def max_output_j(self) -> float:
+    def max_output_j(self) -> Joules:
         return self._max_output_j

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.lint [PATH ...] [--select R001,R005] [--explain [RULE]]
+                         [--format text|json|github]
 
 Paths may be files or directories; directories are walked recursively
 for ``*.py``, skipping VCS/build/cache trees.  Findings print as
@@ -20,6 +21,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from repro.lint.emitter import FORMATS, emit
 from repro.lint.rules import ALL_RULES, RULES_BY_ID, FileContext, Finding, Rule
 
 #: Directory names never descended into during discovery.
@@ -176,6 +178,14 @@ def _run(argv: Optional[Sequence[str]] = None) -> int:
         metavar="IDS",
         help="comma-separated rule ids to run (default: all)",
     )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=FORMATS,
+        default="text",
+        help="output encoding: text lines, a json object, or GitHub "
+        "Actions ::error annotations",
+    )
     args = parser.parse_args(argv)
 
     if args.explain is not None:
@@ -188,8 +198,7 @@ def _run(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
-        print(finding.render())
+    emit(findings, args.output_format)
     if findings:
         files = len({f.path for f in findings})
         print(

@@ -1,0 +1,98 @@
+"""Shared finding emitters for the lint and analysis CLIs.
+
+Both ``python -m repro.lint`` and ``python -m repro.analysis`` accept
+``--format {text,json,github}`` and route their findings through this
+module so the three encodings stay byte-identical across the two
+tools:
+
+* ``text`` — one ``path:line:col: RULE message`` line per finding
+  (the historical default, unchanged);
+* ``json`` — a single object ``{"findings": [...], "count": N}`` for
+  editor integrations and scripted triage;
+* ``github`` — ``::error`` workflow commands, which GitHub Actions
+  renders as inline PR annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.lint.rules import Finding
+
+#: The accepted ``--format`` values, in help-text order.
+FORMATS: Sequence[str] = ("text", "json", "github")
+
+_JsonFinding = Dict[str, Union[str, int]]
+
+
+def finding_to_dict(finding: Finding) -> _JsonFinding:
+    """The JSON object for one finding."""
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "message": finding.message,
+    }
+
+
+def render_text(findings: Sequence[Finding]) -> List[str]:
+    """``text`` format: one rendered line per finding."""
+    return [finding.render() for finding in findings]
+
+
+def render_json(findings: Sequence[Finding]) -> List[str]:
+    """``json`` format: a single pretty-printed object."""
+    payload = {
+        "findings": [finding_to_dict(f) for f in findings],
+        "count": len(findings),
+    }
+    return [json.dumps(payload, indent=2, sort_keys=False)]
+
+
+def _escape_property(value: str) -> str:
+    """Escape a workflow-command property value (GitHub's own rules)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_data(value: str) -> str:
+    """Escape workflow-command message data."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(findings: Sequence[Finding]) -> List[str]:
+    """``github`` format: one ``::error`` workflow command per finding."""
+    lines: List[str] = []
+    for finding in findings:
+        properties = (
+            f"file={_escape_property(finding.path)}"
+            f",line={finding.line}"
+            f",col={finding.col}"
+            f",title={_escape_property(finding.rule_id)}"
+        )
+        lines.append(f"::error {properties}::{_escape_data(finding.message)}")
+    return lines
+
+
+def render(findings: Sequence[Finding], output_format: str) -> List[str]:
+    """Dispatch on ``output_format`` (one of :data:`FORMATS`)."""
+    if output_format == "text":
+        return render_text(findings)
+    if output_format == "json":
+        return render_json(findings)
+    if output_format == "github":
+        return render_github(findings)
+    raise ValueError(f"unknown output format: {output_format!r}")
+
+
+def emit(findings: Sequence[Finding], output_format: str) -> None:
+    """Print the findings in ``output_format`` to stdout."""
+    for line in render(findings, output_format):
+        print(line)

@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import math
 
+from repro.units import BitsPerSecond, Hertz, Linear
+
 
 def link_capacity_bps(
-    bandwidth_hz: float, sinr_value: float, sinr_threshold: float
-) -> float:
+    bandwidth_hz: Hertz, sinr_value: Linear, sinr_threshold: Linear
+) -> BitsPerSecond:
     """Capacity of a link in bits/second per Eq. (1).
 
     Args:
@@ -32,7 +34,7 @@ def link_capacity_bps(
     return 0.0
 
 
-def max_link_capacity_bps(bandwidth_hz: float, sinr_threshold: float) -> float:
+def max_link_capacity_bps(bandwidth_hz: Hertz, sinr_threshold: Linear) -> BitsPerSecond:
     """The capacity a link attains *when scheduled successfully*.
 
     This is the coefficient the S1/S3 subproblems use before power

@@ -16,13 +16,14 @@ from typing import Dict
 import numpy as np
 
 from repro.types import NodeId
+from repro.units import Linear, Watts
 
 
 def zero_interference_feasible(
-    gain: float,
-    max_power_w: float,
-    noise_power_w: float,
-    sinr_threshold: float,
+    gain: Linear,
+    max_power_w: Watts,
+    noise_power_w: Watts,
+    sinr_threshold: Linear,
 ) -> bool:
     """True if a link clears ``Gamma`` at max power with no interference.
 
@@ -38,10 +39,10 @@ def big_m_coefficient(
     gains: np.ndarray,
     tx: NodeId,
     rx: NodeId,
-    noise_power_w: float,
-    sinr_threshold: float,
-    max_power_w: Dict[NodeId, float],
-) -> float:
+    noise_power_w: Watts,
+    sinr_threshold: Linear,
+    max_power_w: Dict[NodeId, Watts],
+) -> Watts:
     """The constant ``M_ij^m`` of Eq. (24).
 
     Set to the worst-case right-hand side — every other node

@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.types import Link, NodeId
+from repro.units import Linear, Watts
 
 
 @dataclass
@@ -34,7 +35,7 @@ class PowerControlResult:
         dropped: links removed because no feasible power exists.
     """
 
-    powers: Dict[Link, float] = field(default_factory=dict)
+    powers: Dict[Link, Watts] = field(default_factory=dict)
     dropped: List[Link] = field(default_factory=list)
 
     @property
@@ -46,8 +47,8 @@ class PowerControlResult:
 def _solve_min_powers(
     links: Sequence[Link],
     gains: np.ndarray,
-    noise_power_w: float,
-    sinr_threshold: float,
+    noise_power_w: Watts,
+    sinr_threshold: Linear,
 ) -> np.ndarray:
     """Exact minimal powers for ``links``; +inf rows mark infeasibility."""
     n = len(links)
@@ -74,9 +75,9 @@ def _solve_min_powers(
 def minimal_power_assignment(
     links: Sequence[Link],
     gains: np.ndarray,
-    noise_power_w: float,
-    sinr_threshold: float,
-    max_power_w: Dict[NodeId, float],
+    noise_power_w: Watts,
+    sinr_threshold: Linear,
+    max_power_w: Dict[NodeId, Watts],
     priority: Dict[Link, float] | None = None,
 ) -> PowerControlResult:
     """Assign minimal feasible powers, dropping links as needed.

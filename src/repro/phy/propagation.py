@@ -9,12 +9,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import Linear, Meters
+
 #: Distances are clamped to this floor (metres) before applying the
 #: far-field path-loss law; ``d^-gamma`` diverges as d -> 0.
 MIN_DISTANCE_M: float = 1.0
 
 
-def propagation_gain(distance_m: float, constant: float, exponent: float) -> float:
+def propagation_gain(distance_m: Meters, constant: float, exponent: float) -> Linear:
     """Gain between two nodes separated by ``distance_m`` metres.
 
     Args:

@@ -12,13 +12,14 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.types import NodeId, Transmission
+from repro.units import Db, Linear, Watts, linear_to_db
 
 
 def total_interference(
     gains: np.ndarray,
     receiver: NodeId,
-    interferers: Iterable[Tuple[NodeId, float]],
-) -> float:
+    interferers: Iterable[Tuple[NodeId, Watts]],
+) -> Watts:
     """Aggregate interference power at ``receiver``.
 
     Args:
@@ -39,10 +40,10 @@ def sinr(
     gains: np.ndarray,
     tx: NodeId,
     rx: NodeId,
-    tx_power_w: float,
-    noise_power_w: float,
-    interference_w: float = 0.0,
-) -> float:
+    tx_power_w: Watts,
+    noise_power_w: Watts,
+    interference_w: Watts = 0.0,
+) -> Linear:
     """SINR of one link given noise and aggregate interference.
 
     Args:
@@ -67,8 +68,8 @@ def sinr_of_transmission(
     gains: np.ndarray,
     target: Transmission,
     concurrent: Iterable[Transmission],
-    noise_power_w: float,
-) -> float:
+    noise_power_w: Watts,
+) -> Linear:
     """SINR of ``target`` among ``concurrent`` same-band transmissions.
 
     Transmissions in ``concurrent`` on other bands or equal to
@@ -87,3 +88,22 @@ def sinr_of_transmission(
         noise_power_w,
         total_interference(gains, target.rx, interferers),
     )
+
+
+def sinr_db(
+    gains: np.ndarray,
+    tx: NodeId,
+    rx: NodeId,
+    tx_power_w: Watts,
+    noise_power_w: Watts,
+    interference_w: Watts = 0.0,
+) -> Db:
+    """:func:`sinr` on the logarithmic dB scale.
+
+    The library computes SINR in linear terms throughout (the paper's
+    threshold ``Gamma = 1`` is 0 dB); this helper is the sanctioned
+    crossing for reporting and for configs stated in dB.  Mixing the
+    two scales any other way is flagged by analysis rule R011.
+    """
+    ratio: Linear = sinr(gains, tx, rx, tx_power_w, noise_power_w, interference_w)
+    return linear_to_db(ratio)

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Mapping, Tuple
 
 from repro.exceptions import QueueError
 from repro.types import NodeId, QueueSemantics, SessionId
+from repro.units import Packets
 
 
 @dataclass
@@ -27,9 +28,9 @@ class DataQueue:
 
     node: NodeId
     session: SessionId
-    backlog: float = 0.0
+    backlog: Packets = 0.0
 
-    def step(self, service: float, arrivals: float) -> float:
+    def step(self, service: Packets, arrivals: Packets) -> Packets:
         """Advance Eq. (15) by one slot and return the new backlog."""
         if service < 0:
             raise QueueError(
@@ -69,7 +70,7 @@ class DataQueueBank:
         """The transfer-accounting mode in force."""
         return self._semantics
 
-    def backlog(self, node: NodeId, session: SessionId) -> float:
+    def backlog(self, node: NodeId, session: SessionId) -> Packets:
         """``Q_i^s(t)``; destinations report a permanent 0."""
         if self._destinations.get(session) == node:
             return 0.0
@@ -82,20 +83,20 @@ class DataQueueBank:
         """True unless ``node`` is the destination of ``session``."""
         return (node, session) in self._queues
 
-    def total_backlog(self, nodes: Iterable[NodeId]) -> float:
+    def total_backlog(self, nodes: Iterable[NodeId]) -> Packets:
         """Sum of backlogs over ``nodes`` and all sessions."""
         node_set = set(nodes)
         return sum(
             q.backlog for (node, _), q in self._queues.items() if node in node_set
         )
 
-    def snapshot(self) -> Dict[Tuple[NodeId, SessionId], float]:
+    def snapshot(self) -> Dict[Tuple[NodeId, SessionId], Packets]:
         """A copy of every backlog, keyed by ``(node, session)``."""
         return {key: q.backlog for key, q in self._queues.items()}
 
     def effective_rates(
-        self, rates: Mapping[Tuple[NodeId, NodeId, SessionId], float]
-    ) -> Dict[Tuple[NodeId, NodeId, SessionId], float]:
+        self, rates: Mapping[Tuple[NodeId, NodeId, SessionId], Packets]
+    ) -> Dict[Tuple[NodeId, NodeId, SessionId], Packets]:
         """Transfer rates after applying the configured semantics.
 
         In ``PAPER`` mode the scheduled rates pass through unchanged.
@@ -124,9 +125,9 @@ class DataQueueBank:
 
     def step(
         self,
-        rates: Mapping[Tuple[NodeId, NodeId, SessionId], float],
-        admissions: Mapping[SessionId, Iterable[Tuple[NodeId, float]]],
-    ) -> Dict[Tuple[NodeId, SessionId], float]:
+        rates: Mapping[Tuple[NodeId, NodeId, SessionId], Packets],
+        admissions: Mapping[SessionId, Iterable[Tuple[NodeId, Packets]]],
+    ) -> Dict[Tuple[NodeId, SessionId], Packets]:
         """Advance every queue one slot.
 
         Args:

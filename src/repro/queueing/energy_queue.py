@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import QueueError
 from repro.types import NodeId
+from repro.units import DollarsPerJoule, Joules
 
 
 class ShiftedEnergyQueue:
@@ -25,9 +26,9 @@ class ShiftedEnergyQueue:
         self,
         node: NodeId,
         control_v: float,
-        gamma_max: float,
-        discharge_cap_j: float,
-        initial_level_j: float = 0.0,
+        gamma_max: DollarsPerJoule,
+        discharge_cap_j: Joules,
+        initial_level_j: Joules = 0.0,
     ) -> None:
         if control_v < 0:
             raise QueueError(f"V must be non-negative, got {control_v}")
@@ -42,16 +43,16 @@ class ShiftedEnergyQueue:
         self._level_j = initial_level_j
 
     @property
-    def level_j(self) -> float:
+    def level_j(self) -> Joules:
         """The physical battery level ``x_i(t)`` (J)."""
         return self._level_j
 
     @property
-    def z(self) -> float:
+    def z(self) -> Joules:
         """The shifted level ``z_i(t) = x_i(t) - shift`` (J)."""
         return self._level_j - self.shift_j
 
-    def step(self, charge_j: float, discharge_j: float) -> float:
+    def step(self, charge_j: Joules, discharge_j: Joules) -> Joules:
         """Advance Eq. (31) one slot; returns the new ``z_i``."""
         if charge_j < 0 or discharge_j < 0:
             raise QueueError(
@@ -66,7 +67,7 @@ class ShiftedEnergyQueue:
         self._level_j += charge_j - discharge_j
         return self.z
 
-    def observe_level(self, level_j: float) -> None:
+    def observe_level(self, level_j: Joules) -> None:
         """Adopt the battery's authoritative post-update level.
 
         Used by the simulator: the battery applies the (possibly
@@ -80,7 +81,7 @@ class ShiftedEnergyQueue:
             )
         self._level_j = max(level_j, 0.0)
 
-    def sync_level(self, level_j: float) -> None:
+    def sync_level(self, level_j: Joules) -> None:
         """Re-anchor to the battery's authoritative level.
 
         The :class:`~repro.energy.battery.Battery` clamps round-off at

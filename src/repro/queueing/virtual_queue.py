@@ -1,7 +1,9 @@
 """Link-layer virtual queues ``G_ij`` and ``H_ij`` (Eqs. 28 and 30).
 
 ``G_ij`` buffers packets committed to link ``(i, j)`` by the router and
-drains at the link's realised service rate.  ``H_ij = beta * G_ij``
+drains at the link's realised service rate; because the router commits
+at most a link's capacity, per-slot arrivals stay bounded (Eq. 29),
+which is all the drift argument needs.  ``H_ij = beta * G_ij``
 with ``beta = max_ij (c_max_ij * delta_t / delta)`` is the scaled copy
 whose strong stability the drift analysis tracks; keeping both updated
 in lock-step (rather than deriving one from the other at read time)
@@ -15,6 +17,7 @@ from typing import Dict, Iterable, Mapping
 
 from repro.exceptions import QueueError
 from repro.types import Link
+from repro.units import Packets
 
 
 @dataclass
@@ -23,18 +26,18 @@ class LinkVirtualQueue:
 
     link: Link
     beta: float
-    g_backlog: float = 0.0
+    g_backlog: Packets = 0.0
 
     def __post_init__(self) -> None:
         if self.beta <= 0:
             raise QueueError(f"beta must be positive, got {self.beta}")
 
     @property
-    def h_backlog(self) -> float:
+    def h_backlog(self) -> Packets:
         """``H_ij(t) = beta * G_ij(t)`` (Eq. 30)."""
         return self.beta * self.g_backlog
 
-    def step(self, arrivals_pkts: float, service_pkts: float) -> float:
+    def step(self, arrivals_pkts: Packets, service_pkts: Packets) -> Packets:
         """Advance Eq. (28) one slot; returns the new ``G_ij``."""
         if arrivals_pkts < 0:
             raise QueueError(f"negative arrivals {arrivals_pkts} at G{self.link}")
@@ -55,37 +58,37 @@ class VirtualQueueBank:
             link: LinkVirtualQueue(link=link, beta=beta) for link in links
         }
 
-    def g(self, link: Link) -> float:
+    def g(self, link: Link) -> Packets:
         """``G_ij(t)`` for one link."""
         try:
             return self._queues[link].g_backlog
         except KeyError:
             raise QueueError(f"no virtual queue for link {link}") from None
 
-    def h(self, link: Link) -> float:
+    def h(self, link: Link) -> Packets:
         """``H_ij(t)`` for one link."""
         try:
             return self._queues[link].h_backlog
         except KeyError:
             raise QueueError(f"no virtual queue for link {link}") from None
 
-    def total_g(self) -> float:
+    def total_g(self) -> Packets:
         """Sum of all ``G_ij(t)`` backlogs."""
         return sum(q.g_backlog for q in self._queues.values())
 
-    def total_h(self) -> float:
+    def total_h(self) -> Packets:
         """Sum of all ``H_ij(t)`` backlogs."""
         return sum(q.h_backlog for q in self._queues.values())
 
-    def snapshot(self) -> Dict[Link, float]:
+    def snapshot(self) -> Dict[Link, Packets]:
         """A copy of every ``G_ij`` backlog."""
         return {link: q.g_backlog for link, q in self._queues.items()}
 
     def step(
         self,
-        arrivals_pkts: Mapping[Link, float],
-        service_pkts: Mapping[Link, float],
-    ) -> Dict[Link, float]:
+        arrivals_pkts: Mapping[Link, Packets],
+        service_pkts: Mapping[Link, Packets],
+    ) -> Dict[Link, Packets]:
         """Advance every virtual queue one slot.
 
         Args:

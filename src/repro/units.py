@@ -1,0 +1,145 @@
+"""Unit-annotation vocabulary for the static units analyzer.
+
+The library computes internally in SI units (watts, joules, bits,
+seconds — see ``repro.constants``), but the paper states parameters in
+kWh, Kbps and per-minute slots, and the per-slot machinery constantly
+crosses the power/energy and per-second/per-slot boundaries.  This
+module gives those physical quantities *names* that are zero-cost at
+runtime: each alias is ``Annotated[float, Unit(...)]``, so annotated
+code still passes and returns plain floats, while the dataflow
+analyzer (``python -m repro.analysis``, rules R010-R012) reads the
+annotations statically and flags dimensionally inconsistent
+arithmetic before a simulation ever runs.
+
+Annotate the *boundaries* — public function signatures and dataclass
+fields — with the most specific alias that applies::
+
+    from repro.units import Joules, Seconds, Watts
+
+    def slot_energy(power: Watts, slot_seconds: Seconds) -> Joules:
+        ...
+
+The ``db_to_linear`` / ``linear_to_db`` helpers are the sanctioned
+crossing between the logarithmic and linear SINR scales; the analyzer
+treats any other arithmetic that mixes ``Db`` with linear quantities
+as rule R011.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Annotated, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Unit:
+    """Static metadata carried by one ``Annotated`` unit alias.
+
+    Attributes:
+        symbol: canonical short symbol (``"J"``, ``"bit/slot"``, ...).
+        dimension: physical dimension group; two units sharing a
+            dimension (e.g. ``J`` and ``kWh``) measure the same thing
+            at different scales and still must not be mixed without an
+            explicit conversion.
+        per: for rate units, the time base — ``"slot"`` or ``"s"``.
+            Mixing the two bases is rule R012's target.
+    """
+
+    symbol: str
+    dimension: str
+    per: Optional[str] = None
+
+
+_JOULES = Unit("J", "energy")
+_WATT_HOURS = Unit("Wh", "energy")
+_KILOWATT_HOURS = Unit("kWh", "energy")
+_WATTS = Unit("W", "power")
+_BITS = Unit("bit", "data")
+_PACKETS = Unit("packet", "packets")
+_BITS_PER_SLOT = Unit("bit/slot", "data_rate", per="slot")
+_PACKETS_PER_SLOT = Unit("packet/slot", "packet_rate", per="slot")
+_BITS_PER_SECOND = Unit("bit/s", "data_rate", per="s")
+_KBPS = Unit("kbit/s", "data_rate", per="s")
+_DB = Unit("dB", "level")
+_LINEAR = Unit("lin", "dimensionless")
+_DOLLARS = Unit("$", "money")
+_DOLLARS_PER_KWH = Unit("$/kWh", "tariff")
+_DOLLARS_PER_JOULE = Unit("$/J", "tariff")
+_SECONDS = Unit("s", "time")
+_HERTZ = Unit("Hz", "frequency")
+_METERS = Unit("m", "length")
+
+#: Battery/grid energy and every per-slot energy quantity (SI).
+Joules = Annotated[float, _JOULES]
+#: Watt-hours — configuration-boundary storage sizes.
+WattHours = Annotated[float, _WATT_HOURS]
+#: Kilowatt-hours — the paper's storage and tariff unit.
+KilowattHours = Annotated[float, _KILOWATT_HOURS]
+#: Instantaneous power (transmit, receive, renewable output).
+Watts = Annotated[float, _WATTS]
+#: Raw traffic volume.
+Bits = Annotated[float, _BITS]
+#: Queue backlogs and routed amounts (the paper's packet unit delta).
+Packets = Annotated[float, _PACKETS]
+#: Traffic volume per slot (after a ``slot_seconds`` conversion).
+BitsPerSlot = Annotated[float, _BITS_PER_SLOT]
+#: Queue service/arrival rates per slot.
+PacketsPerSlot = Annotated[float, _PACKETS_PER_SLOT]
+#: Link rate in bits per second (Eq. 1 capacities).
+BitsPerSecond = Annotated[float, _BITS_PER_SECOND]
+#: Session demand as stated by the paper (100 Kbps).
+Kbps = Annotated[float, _KBPS]
+#: Logarithmic ratio — never multiply two of these (R011).
+Db = Annotated[float, _DB]
+#: Linear (dimensionless) ratio, e.g. SINR values and thresholds.
+Linear = Annotated[float, _LINEAR]
+#: Monetary cost (the currency of ``f(P)``).
+Dollars = Annotated[float, _DOLLARS]
+#: Tariff as stated by the paper ($ per kWh).
+DollarsPerKwh = Annotated[float, _DOLLARS_PER_KWH]
+#: Tariff in SI terms ($ per joule) — the library-internal form.
+DollarsPerJoule = Annotated[float, _DOLLARS_PER_JOULE]
+#: Durations, including the slot length ``delta_t``.
+Seconds = Annotated[float, _SECONDS]
+#: Bandwidths ``W_m(t)``.
+Hertz = Annotated[float, _HERTZ]
+#: Distances in the propagation model.
+Meters = Annotated[float, _METERS]
+
+#: Alias name -> metadata, the analyzer's annotation vocabulary.
+ALIAS_UNITS: Dict[str, Unit] = {
+    "Joules": _JOULES,
+    "WattHours": _WATT_HOURS,
+    "KilowattHours": _KILOWATT_HOURS,
+    "Watts": _WATTS,
+    "Bits": _BITS,
+    "Packets": _PACKETS,
+    "BitsPerSlot": _BITS_PER_SLOT,
+    "PacketsPerSlot": _PACKETS_PER_SLOT,
+    "BitsPerSecond": _BITS_PER_SECOND,
+    "Kbps": _KBPS,
+    "Db": _DB,
+    "Linear": _LINEAR,
+    "Dollars": _DOLLARS,
+    "DollarsPerKwh": _DOLLARS_PER_KWH,
+    "DollarsPerJoule": _DOLLARS_PER_JOULE,
+    "Seconds": _SECONDS,
+    "Hertz": _HERTZ,
+    "Meters": _METERS,
+}
+
+#: Symbol -> metadata, for the analyzer's dimension algebra.
+UNIT_BY_SYMBOL: Dict[str, Unit] = {u.symbol: u for u in ALIAS_UNITS.values()}
+
+
+def db_to_linear(value_db: Db) -> Linear:
+    """Convert a dB-scale ratio to its linear value: ``10^(x/10)``."""
+    return float(10.0 ** (value_db / 10.0))
+
+
+def linear_to_db(value_linear: Linear) -> Db:
+    """Convert a linear ratio to dB: ``10 log10(x)``."""
+    if value_linear <= 0.0:
+        raise ValueError(f"linear ratio must be positive, got {value_linear}")
+    return 10.0 * math.log10(value_linear)

@@ -8,6 +8,7 @@ suppression), and the CLI contract — exit codes, output format,
 
 from __future__ import annotations
 
+import json
 import textwrap
 from pathlib import Path
 
@@ -15,6 +16,8 @@ import pytest
 
 from repro.lint import ALL_RULES, RULES_BY_ID
 from repro.lint.cli import discover_files, lint_source, main
+from repro.lint.emitter import render
+from repro.lint.rules import Finding
 
 LIB = Path("src/repro/example.py")
 TEST = Path("tests/test_example.py")
@@ -224,6 +227,45 @@ class TestCli:
         (tmp_path / "keep.py").write_text("x = 1\n")
         files = discover_files([str(tmp_path)])
         assert [f.name for f in files] == ["keep.py"]
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "R001"
+        assert finding["path"] == str(target)
+        assert finding["line"] == 2 and finding["col"] == 1
+        assert "message" in finding
+
+    def test_json_format_clean_run_is_empty_object(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text('"""Nothing wrong here."""\nX = 1\n')
+        assert main([str(target), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": [], "count": 0}
+
+    def test_github_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert main([str(target), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert ",line=2,col=1,title=R001::" in out
+
+    def test_github_format_escapes_workflow_characters(self):
+        finding = Finding(
+            path="src/a,b.py", line=1, col=1, rule_id="R001",
+            message="50% of draws\nuse the shared generator",
+        )
+        (line,) = render([finding], "github")
+        assert "file=src/a%2Cb.py" in line
+        assert line.endswith("::50%25 of draws%0Ause the shared generator")
+
+    def test_render_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            render([], "sarif")
 
     def test_repo_is_clean(self):
         """The acceptance criterion: the lint suite passes on the PR."""
