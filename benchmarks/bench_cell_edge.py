@@ -6,6 +6,8 @@ assertion is the paper's mechanism claim — multi-hop beats one-hop in
 steady state once destinations sit at the cell edge.
 """
 
+from common import bench_workers, run_once
+
 from repro.config import cell_edge_scenario
 from repro.experiments import run_cell_edge
 
@@ -17,11 +19,12 @@ def test_cell_edge_multi_hop_saving(benchmark, show, bench_base):
         seed=bench_base.seed,
     )
 
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_cell_edge,
-        kwargs={"base": base, "v_values": (1e5,)},
-        rounds=1,
-        iterations=1,
+        base=base,
+        v_values=(1e5,),
+        max_workers=bench_workers(),
     )
     show(result.table)
 

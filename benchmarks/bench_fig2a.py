@@ -2,18 +2,23 @@
 
 Prints the upper bound (our algorithm), the empirical lower bound (the
 relaxed LP optimum), and the formal Theorem-5 bound per V, and asserts
-the paper's shape: the bound gap closes as V grows.
+the paper's shape: the bound gap closes as V grows.  The (V, variant)
+grid executes through the sweep executor; set REPRO_BENCH_WORKERS to
+fan it out over worker processes.
 """
+
+from common import bench_workers, run_once
 
 from repro.experiments import run_fig2a
 
 
 def test_fig2a_bounds_vs_v(benchmark, show, bench_base, bench_v_sweep):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2a,
-        kwargs={"base": bench_base, "v_values": bench_v_sweep},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_sweep,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

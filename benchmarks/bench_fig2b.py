@@ -4,16 +4,19 @@ Asserts the paper's shape: backlogs stay bounded (not growing at the
 horizon tail) and a larger V sustains a larger backlog.
 """
 
+from common import bench_workers, run_once
+
 from repro.experiments import run_fig2b
 from repro.queueing.stability import StabilityVerdict, assess_strong_stability
 
 
 def test_fig2b_bs_backlog(benchmark, show, bench_base, bench_v_backlog):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2b,
-        kwargs={"base": bench_base, "v_values": bench_v_backlog},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_backlog,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

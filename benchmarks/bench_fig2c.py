@@ -4,17 +4,19 @@ Asserts bounded (non-diverging) user backlogs across the V sweep.
 """
 
 import numpy as np
+from common import bench_workers, run_once
 
 from repro.experiments import run_fig2c
 from repro.queueing.stability import StabilityVerdict, assess_strong_stability
 
 
 def test_fig2c_user_backlog(benchmark, show, bench_base, bench_v_backlog):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2c,
-        kwargs={"base": bench_base, "v_values": bench_v_backlog},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_backlog,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

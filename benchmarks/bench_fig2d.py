@@ -5,15 +5,18 @@ installed capacity, and settle higher for larger V (the V*gamma_max
 threshold effect).
 """
 
+from common import bench_workers, run_once
+
 from repro.experiments import run_fig2d
 
 
 def test_fig2d_bs_energy_buffers(benchmark, show, bench_base, bench_v_backlog):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2d,
-        kwargs={"base": bench_base, "v_values": bench_v_backlog},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_backlog,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

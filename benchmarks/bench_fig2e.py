@@ -6,16 +6,18 @@ grow at the renewable harvest rate, matching the paper's linear Fig.
 """
 
 import numpy as np
+from common import bench_workers, run_once
 
 from repro.experiments import run_fig2e
 
 
 def test_fig2e_user_energy_buffers(benchmark, show, bench_base, bench_v_backlog):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2e,
-        kwargs={"base": bench_base, "v_values": bench_v_backlog},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_backlog,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

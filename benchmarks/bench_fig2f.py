@@ -2,8 +2,11 @@
 
 Asserts the paper's headline ordering: the proposed multi-hop +
 renewables system has the lowest time-averaged expected energy cost at
-every compared V.
+every compared V.  The (architecture, V) grid executes through the
+sweep executor; set REPRO_BENCH_WORKERS to fan it out.
 """
+
+from common import bench_workers, run_once
 
 from repro.experiments import run_fig2f
 from repro.experiments.fig2f import ARCHITECTURES
@@ -11,11 +14,12 @@ from repro.types import Architecture
 
 
 def test_fig2f_architecture_comparison(benchmark, show, bench_base, bench_v_compare):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_fig2f,
-        kwargs={"base": bench_base, "v_values": bench_v_compare},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_compare,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

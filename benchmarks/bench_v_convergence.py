@@ -3,18 +3,22 @@
 Measures the relative gap between the decomposition controller and the
 exact relaxed LP across a V sweep; the acceptance criterion is that
 the heuristic stays within 10 % of the optimum everywhere (measured
-runs land around 2-5 %).
+runs land around 2-5 %).  The paired integral/relaxed cells execute
+through the sweep executor; set REPRO_BENCH_WORKERS to fan them out.
 """
+
+from common import bench_workers, run_once
 
 from repro.experiments import run_v_convergence
 
 
 def test_heuristic_tracks_relaxed_optimum(benchmark, show, bench_base, bench_v_sweep):
-    result = benchmark.pedantic(
+    result = run_once(
+        benchmark,
         run_v_convergence,
-        kwargs={"base": bench_base, "v_values": bench_v_sweep},
-        rounds=1,
-        iterations=1,
+        base=bench_base,
+        v_values=bench_v_sweep,
+        max_workers=bench_workers(),
     )
     show(result.table)
 

@@ -1,0 +1,64 @@
+"""Shared benchmark helpers: scale selection, scenarios, one-shot runs.
+
+The scenario-construction logic lives here (not copied per bench
+module): ``bench_scenario`` picks the scale, the ``v_*`` grids mirror
+the paper's sweeps at that scale, and ``run_once`` wraps the
+``benchmark.pedantic(..., rounds=1, iterations=1)`` incantation every
+figure bench uses (one full regeneration per measurement).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE=paper`` — full Section-VI scale (2 BSs, 20
+  users, 100 slots, the paper's V sweeps) instead of the reduced
+  default;
+* ``REPRO_BENCH_WORKERS=N`` — fan figure grids over N sweep-executor
+  processes (default 1 = serial);
+* ``REPRO_BENCH_SWEEP=PATH`` — collect every grid's timing record
+  into a BENCH_sweep.json (read by the executor itself).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from repro.config import paper_scenario, small_scenario
+from repro.config.parameters import ScenarioParameters
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "paper"
+
+
+def bench_scenario() -> ScenarioParameters:
+    """The base scenario benchmarks derive their runs from."""
+    if FULL_SCALE:
+        return paper_scenario(num_slots=100, seed=2014)
+    return small_scenario(num_slots=40, num_users=10, seed=2014)
+
+
+def bench_workers() -> int:
+    """Sweep-executor fan-out for figure grids (REPRO_BENCH_WORKERS)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def v_sweep() -> Tuple[float, ...]:
+    """The V values swept by the bound/backlog figures."""
+    if FULL_SCALE:
+        return tuple(k * 1e5 for k in range(1, 11))
+    return (1e5, 3e5, 1e6)
+
+
+def v_backlog() -> Tuple[float, ...]:
+    """The V values of the backlog/buffer figures (2b-2e)."""
+    if FULL_SCALE:
+        return tuple(k * 1e5 for k in range(1, 6))
+    return (1e5, 3e5, 5e5)
+
+
+def v_compare() -> Tuple[float, ...]:
+    """The V values of the architecture comparison (2f)."""
+    return (1e5, 3e5, 5e5)
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Measure one full regeneration of a figure (no warmup rounds)."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,54 +1,39 @@
-"""Shared benchmark configuration.
+"""Shared benchmark fixtures (scenario logic lives in ``common.py``).
 
 Each benchmark regenerates one paper figure (or one ablation) and
 prints the reproduced rows, while pytest-benchmark measures the
-generation time.  Scales:
-
-* default — a reduced-but-representative scenario so the whole suite
-  finishes in a few minutes;
-* ``REPRO_BENCH_SCALE=paper`` — the full Section-VI scenario (2 BSs,
-  20 users, 100 slots, the paper's V sweeps).
+generation time.  Scales and environment knobs: see ``common.py``.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.config import paper_scenario, small_scenario
-
-FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small") == "paper"
+from common import bench_scenario, v_backlog, v_compare, v_sweep
 
 
 @pytest.fixture(scope="session")
 def bench_base():
     """The base scenario benchmarks derive their runs from."""
-    if FULL_SCALE:
-        return paper_scenario(num_slots=100, seed=2014)
-    return small_scenario(num_slots=40, num_users=10, seed=2014)
+    return bench_scenario()
 
 
 @pytest.fixture(scope="session")
 def bench_v_sweep():
     """The V values swept by the bound/backlog figures."""
-    if FULL_SCALE:
-        return tuple(k * 1e5 for k in range(1, 11))
-    return (1e5, 3e5, 1e6)
+    return v_sweep()
 
 
 @pytest.fixture(scope="session")
 def bench_v_backlog():
     """The V values of the backlog/buffer figures (2b-2e)."""
-    if FULL_SCALE:
-        return tuple(k * 1e5 for k in range(1, 6))
-    return (1e5, 3e5, 5e5)
+    return v_backlog()
 
 
 @pytest.fixture(scope="session")
 def bench_v_compare():
     """The V values of the architecture comparison (2f)."""
-    return (1e5, 3e5, 5e5)
+    return v_compare()
 
 
 @pytest.fixture

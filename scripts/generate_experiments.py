@@ -4,11 +4,16 @@
 This is the EXPERIMENTS.md data source: the paper's Section-VI
 scenario (2 BSs, 20 users, 100 one-minute slots) with the paper's V
 sweeps, plus the extension experiments (cell-edge, V-convergence).
-Run time is a few minutes.  Pass ``--export DIR`` to additionally
-write each figure's data as CSV.
+Run time is a few minutes serially; ``--workers N`` fans each figure's
+(V, variant) grid over N worker processes through the sweep executor
+(results are bit-identical to the serial run — tests/test_executor.py
+pins that).  Pass ``--export DIR`` to additionally write each figure's
+data as CSV; ``--bench PATH`` collects every grid's timing record into
+a machine-readable BENCH_sweep.json.
 """
 
 import argparse
+import os
 import time
 from pathlib import Path
 
@@ -24,6 +29,7 @@ from repro.experiments import (
     run_fig2f,
     run_v_convergence,
 )
+from repro.experiments.executor import BENCH_ENV_VAR
 
 
 def main() -> None:
@@ -31,7 +37,23 @@ def main() -> None:
     parser.add_argument(
         "--export", default=None, help="directory for per-figure CSVs"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep-executor processes per figure grid (default: serial)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help="collect per-grid timing records into this BENCH_sweep.json",
+    )
     args = parser.parse_args()
+
+    if args.bench is not None:
+        # The executor consults this env var on every run_sweep call,
+        # so one file accumulates every figure's grid record.
+        os.environ[BENCH_ENV_VAR] = args.bench
 
     base = paper_scenario(num_slots=100, seed=2014)
     edge = cell_edge_scenario(num_slots=100, seed=2014)
@@ -48,7 +70,7 @@ def main() -> None:
     )
     for name, runner, scenario, kwargs in runs:
         start = time.time()
-        result = runner(base=scenario, **kwargs)
+        result = runner(base=scenario, max_workers=args.workers, **kwargs)
         elapsed = time.time() - start
         print(f"===== {name} ({elapsed:.0f}s) =====")
         print(result.table)
@@ -57,6 +79,8 @@ def main() -> None:
             target = Path(args.export)
             target.mkdir(parents=True, exist_ok=True)
             export_figure(result, target / f"{name}.csv")
+    if args.bench is not None:
+        print(f"sweep timing records collected in {args.bench}")
 
 
 if __name__ == "__main__":

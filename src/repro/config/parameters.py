@@ -288,6 +288,12 @@ class ScenarioParameters:
     slot_seconds: Seconds = constants.SECONDS_PER_MINUTE
     num_slots: int = 100
     seed: int = 2014
+    #: Replication spawn key: the RNG streams are rooted at
+    #: ``SeedSequence(seed, spawn_key=seed_spawn_key)``.  The default
+    #: ``()`` is the root sequence (the historical behaviour); the
+    #: sweep executor derives per-replication keys from the root via
+    #: ``SeedSequence.spawn`` (see ``repro.sim.rng.spawn_child_keys``).
+    seed_spawn_key: Tuple[int, ...] = ()
     #: Candidate links are limited to the k nearest neighbours of each
     #: node (plus all BS-user pairs within range) to keep the per-slot
     #: optimization tractable; None means fully connected.

@@ -44,11 +44,12 @@ class CellEdgeResult:
 def run_cell_edge(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = (1e5, 3e5),
+    max_workers: int = 1,
 ) -> CellEdgeResult:
     """Run the cell-edge architecture comparison."""
     if base is None:
         base = cell_edge_scenario()
-    comparison = run_fig2f(base=base, v_values=v_values)
+    comparison = run_fig2f(base=base, v_values=v_values, max_workers=max_workers)
 
     rows: Tuple = tuple(
         (

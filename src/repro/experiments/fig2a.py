@@ -19,7 +19,6 @@ Our reproduction reports three series per ``V``:
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -27,7 +26,7 @@ from repro.analysis.tables import format_table
 from repro.config.parameters import ScenarioParameters
 from repro.config.scenarios import paper_scenario
 from repro.core.bounds import BoundReport
-from repro.experiments.runner import compute_bounds
+from repro.experiments.runner import sweep_bounds
 
 #: The paper's sweep: V = 1e5 .. 1e6.
 PAPER_V_VALUES: Tuple[float, ...] = tuple(k * 1e5 for k in range(1, 11))
@@ -48,18 +47,20 @@ class Fig2aResult:
 def run_fig2a(
     base: ScenarioParameters = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> Fig2aResult:
     """Regenerate the Fig. 2(a) data.
 
     Args:
         base: base scenario (defaults to the paper scenario).
         v_values: the ``V`` sweep points.
+        max_workers: sweep-executor fan-out (1 = in-process serial).
     """
     if base is None:
         base = paper_scenario()
-    reports = []
-    for v in sorted(v_values):
-        reports.append(compute_bounds(dataclasses.replace(base, control_v=v)))
+    ordered = sorted(v_values)
+    by_v = sweep_bounds(base, ordered, max_workers=max_workers)
+    reports = [by_v[v] for v in ordered]
 
     rows = [
         (

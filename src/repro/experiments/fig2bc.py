@@ -50,10 +50,11 @@ def _run_backlog_figure(
     base: Optional[ScenarioParameters],
     v_values: Sequence[float],
     sample_every: int = 10,
+    max_workers: int = 1,
 ) -> BacklogFigure:
     if base is None:
         base = paper_scenario()
-    results = sweep_v(base, sorted(v_values))
+    results = sweep_v(base, sorted(v_values), max_workers=max_workers)
     series = {
         v: result.backlog_series(metric) for v, result in results.items()
     }
@@ -76,6 +77,7 @@ def _run_backlog_figure(
 def run_fig2b(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> BacklogFigure:
     """Fig. 2(b): total base-station data-queue backlog over time."""
     return _run_backlog_figure(
@@ -83,12 +85,14 @@ def run_fig2b(
         "Fig. 2(b): total BS data queue backlog (packets) vs time",
         base,
         v_values,
+        max_workers=max_workers,
     )
 
 
 def run_fig2c(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> BacklogFigure:
     """Fig. 2(c): total mobile-user data-queue backlog over time."""
     return _run_backlog_figure(
@@ -96,6 +100,7 @@ def run_fig2c(
         "Fig. 2(c): total user data queue backlog (packets) vs time",
         base,
         v_values,
+        max_workers=max_workers,
     )
 
 

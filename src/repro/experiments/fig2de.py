@@ -22,6 +22,7 @@ from repro.experiments.fig2bc import (
 def run_fig2d(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> BacklogFigure:
     """Fig. 2(d): total base-station energy buffer (J) over time."""
     return _run_backlog_figure(
@@ -29,12 +30,14 @@ def run_fig2d(
         "Fig. 2(d): total BS energy buffer (J) vs time",
         base,
         v_values,
+        max_workers=max_workers,
     )
 
 
 def run_fig2e(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> BacklogFigure:
     """Fig. 2(e): total mobile-user energy buffer (J) over time."""
     return _run_backlog_figure(
@@ -42,6 +45,7 @@ def run_fig2e(
         "Fig. 2(e): total user energy buffer (J) vs time",
         base,
         v_values,
+        max_workers=max_workers,
     )
 
 

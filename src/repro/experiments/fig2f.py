@@ -9,17 +9,14 @@ beats one-hop; renewables beat no renewables.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
-from repro.baselines.architectures import (
-    architecture_label,
-    run_architecture,
-)
+from repro.baselines.architectures import architecture_label
 from repro.config.parameters import ScenarioParameters
 from repro.config.scenarios import paper_scenario
+from repro.experiments.executor import SweepSpec, run_sweep
 from repro.sim.results import SimulationResult
 from repro.types import Architecture
 
@@ -78,15 +75,24 @@ class Fig2fResult:
 def run_fig2f(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = PAPER_V_VALUES,
+    max_workers: int = 1,
 ) -> Fig2fResult:
-    """Regenerate the Fig. 2(f) comparison."""
+    """Regenerate the Fig. 2(f) comparison.
+
+    The (architecture, V) grid fans out over the sweep executor; with
+    ``max_workers=1`` the cells run serially, in the historical order.
+    """
     if base is None:
         base = paper_scenario()
-    results: Dict[Tuple[Architecture, float], SimulationResult] = {}
-    for architecture in ARCHITECTURES:
-        for v in v_values:
-            params = dataclasses.replace(base, control_v=v)
-            results[(architecture, v)] = run_architecture(params, architecture)
+    sweep = run_sweep(
+        SweepSpec.architectures(base, tuple(v_values), ARCHITECTURES),
+        max_workers=max_workers,
+    )
+    results: Dict[Tuple[Architecture, float], SimulationResult] = {
+        (architecture, v): sweep.result(architecture.value, v)
+        for architecture in ARCHITECTURES
+        for v in v_values
+    }
 
     headers = (
         ["architecture"]

@@ -5,17 +5,47 @@ Every experiment derives its scenarios from one base
 environment (same seed, same streams) is identical across compared
 configurations — the differences the figures show are policy effects,
 not sampling noise.
+
+Grid-shaped experiments execute through the sweep executor
+(:mod:`repro.experiments.executor`); ``max_workers=1`` (the default)
+keeps the historical in-process serial behaviour, bit for bit, while
+``max_workers > 1`` fans the grid over a process pool.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict, Sequence
 
 from repro.config.parameters import ScenarioParameters
 from repro.core.bounds import BoundReport, lower_bound_cost
+from repro.experiments.executor import SweepSpec, run_sweep
 from repro.sim.engine import SlotSimulator
 from repro.sim.results import SimulationResult
+
+
+def bounds_from_results(
+    integral: SimulationResult,
+    relaxed: SimulationResult,
+    control_v: float,
+) -> BoundReport:
+    """Assemble the Theorem-4/5 bound pair from a paired run.
+
+    Both bounds are stated on the P2 objective
+    ``avg[f(P) - lambda sum_s k_s]``, matching Lemma 2: the integral
+    controller's achieved objective is the Theorem-4 upper bound, the
+    relaxed LP's objective anchors the Theorem-5 lower bound.
+    """
+    return BoundReport(
+        control_v=control_v,
+        upper=integral.average_penalty,
+        lower=lower_bound_cost(
+            relaxed.average_penalty,
+            integral.constants.drift_b,
+            control_v,
+        ),
+        relaxed_penalty=relaxed.average_penalty,
+        drift_b=integral.constants.drift_b,
+    )
 
 
 def compute_bounds(params: ScenarioParameters) -> BoundReport:
@@ -23,30 +53,41 @@ def compute_bounds(params: ScenarioParameters) -> BoundReport:
 
     Runs the integral controller (Theorem-4 upper bound) and the
     relaxed LP controller (Theorem-5 lower bound) on the same
-    environment sample path.  Both bounds are stated on the P2
-    objective ``avg[f(P) - lambda sum_s k_s]``, matching Lemma 2.
+    environment sample path.
     """
     integral = SlotSimulator.integral(params).run()
     relaxed = SlotSimulator.relaxed(params).run()
-    return BoundReport(
-        control_v=params.control_v,
-        upper=integral.average_penalty,
-        lower=lower_bound_cost(
-            relaxed.average_penalty,
-            integral.constants.drift_b,
-            params.control_v,
-        ),
-        relaxed_penalty=relaxed.average_penalty,
-        drift_b=integral.constants.drift_b,
+    return bounds_from_results(integral, relaxed, params.control_v)
+
+
+def sweep_bounds(
+    base: ScenarioParameters,
+    v_values: Sequence[float],
+    max_workers: int = 1,
+) -> Dict[float, BoundReport]:
+    """The bound pair of :func:`compute_bounds` for each ``V``.
+
+    The integral and relaxed cells of every ``V`` are independent
+    jobs, so a 10-point Fig.-2(a) sweep fans out over 20 workers.
+    """
+    sweep = run_sweep(
+        SweepSpec.bounds(base, tuple(v_values)), max_workers=max_workers
     )
+    return {
+        v: bounds_from_results(
+            sweep.result("integral", v), sweep.result("relaxed", v), v
+        )
+        for v in sweep.spec.v_values
+    }
 
 
 def sweep_v(
-    base: ScenarioParameters, v_values: Sequence[float]
+    base: ScenarioParameters,
+    v_values: Sequence[float],
+    max_workers: int = 1,
 ) -> Dict[float, SimulationResult]:
     """Run the integral controller for each ``V`` on the shared seed."""
-    results: Dict[float, SimulationResult] = {}
-    for v in v_values:
-        params = dataclasses.replace(base, control_v=v)
-        results[v] = SlotSimulator.integral(params).run()
-    return results
+    sweep = run_sweep(
+        SweepSpec.integral(base, tuple(v_values)), max_workers=max_workers
+    )
+    return sweep.v_results("integral")

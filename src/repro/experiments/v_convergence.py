@@ -26,7 +26,7 @@ import numpy as np
 from repro.analysis.tables import format_table
 from repro.config.parameters import ScenarioParameters
 from repro.config.scenarios import paper_scenario
-from repro.experiments.runner import compute_bounds
+from repro.experiments.runner import sweep_bounds
 
 
 @dataclass(frozen=True)
@@ -62,15 +62,17 @@ class VConvergenceResult:
 def run_v_convergence(
     base: Optional[ScenarioParameters] = None,
     v_values: Sequence[float] = (1e5, 2e5, 4e5, 8e5),
+    max_workers: int = 1,
 ) -> VConvergenceResult:
     """Measure the heuristic-to-relaxed relative gap across a V sweep."""
     if base is None:
         base = paper_scenario()
     ordered = tuple(sorted(v_values))
+    reports = sweep_bounds(base, ordered, max_workers=max_workers)
     uppers = []
     relative_gaps = []
     for v in ordered:
-        report = compute_bounds(dataclasses.replace(base, control_v=v))
+        report = reports[v]
         uppers.append(report.upper)
         denominator = max(abs(report.upper), 1e-12)
         relative_gaps.append(

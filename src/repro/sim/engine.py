@@ -69,7 +69,7 @@ class SlotSimulator:
         contracts: ContractsArg = None,
     ) -> None:
         self.params = params
-        self.rng = RngStreams(params.seed)
+        self.rng = RngStreams(params.seed, params.seed_spawn_key)
         self.model = build_network_model(params, self.rng.topology)
         self.constants = compute_constants(self.model)
         self.state = NetworkState(self.model, self.constants, self.rng.environment)

@@ -7,11 +7,21 @@ renewables, grid connectivity), one for controller tie-breaking — via
 *identical* environment sample path even if their controllers draw a
 different number of tie-break variates, which is what makes the
 upper/lower bound and architecture comparisons paired comparisons.
+
+Replication (many independent environments per scenario) reuses the
+same machinery one level up: a replication's streams are rooted at
+``SeedSequence(seed, spawn_key=key)`` where ``key`` is the spawn key of
+a child spawned from the scenario's root sequence
+(:func:`spawn_child_keys`).  Spawn keys are plain integer tuples, so a
+replication is fully described by ``(seed, spawn_key)`` — pickle-safe,
+order-independent, and stable across processes, Python versions and
+numpy versions (the ``SeedSequence`` hashing algorithm is part of
+numpy's public stability contract).
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -19,13 +29,43 @@ import numpy as np
 #: reproducibility contract — do not reorder).
 STREAM_NAMES = ("topology", "environment", "controller")
 
+#: A ``SeedSequence`` spawn key: the path of child indices from the
+#: root sequence.  ``()`` is the root itself.
+SpawnKey = Tuple[int, ...]
+
+
+def spawn_child_keys(
+    seed: int, num_children: int, base: Sequence[int] = ()
+) -> Tuple[SpawnKey, ...]:
+    """Spawn keys of the first ``num_children`` children of a root.
+
+    Derives the children through an actual ``SeedSequence.spawn`` call
+    (not arithmetic on tuples) so the derivation is exactly numpy's:
+    child ``i`` of ``SeedSequence(seed, spawn_key=base)`` carries
+    ``spawn_key == tuple(base) + (i,)``.  The returned keys feed
+    :class:`RngStreams` via its ``spawn_key`` argument.
+    """
+    if num_children < 0:
+        raise ValueError(f"num_children must be >= 0, got {num_children}")
+    root = np.random.SeedSequence(seed, spawn_key=tuple(base))
+    return tuple(tuple(child.spawn_key) for child in root.spawn(num_children))
+
 
 class RngStreams:
-    """Named, independent RNG streams derived from one seed."""
+    """Named, independent RNG streams derived from one seed.
 
-    def __init__(self, seed: int) -> None:
+    Args:
+        seed: the scenario seed.
+        spawn_key: optional ``SeedSequence`` spawn key selecting a
+            derived child root (replication).  The default ``()`` is
+            the root sequence itself, byte-identical to the historical
+            single-argument behaviour.
+    """
+
+    def __init__(self, seed: int, spawn_key: Sequence[int] = ()) -> None:
         self.seed = seed
-        root = np.random.SeedSequence(seed)
+        self.spawn_key: SpawnKey = tuple(int(k) for k in spawn_key)
+        root = np.random.SeedSequence(seed, spawn_key=self.spawn_key)
         children = root.spawn(len(STREAM_NAMES))
         self._streams: Dict[str, np.random.Generator] = {
             name: np.random.default_rng(child)
