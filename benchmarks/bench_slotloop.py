@@ -1,0 +1,285 @@
+"""Slot-loop microbenchmark: object path vs the ArrayState hot path.
+
+Measures slots/sec for the same scenario driven through
+``ReferenceNetworkState`` (the per-object dict-of-queues path) and
+``NetworkState`` (the struct-of-arrays path), at U=25 and U=200 users,
+and emits ``BENCH_slotloop.json`` with both numbers and their ratio
+recorded in the same run.
+
+Three metrics per scenario:
+
+* ``full_loop`` — the closed observe→decide→apply→record loop under the
+  GREEDY scheduler.  GREEDY is used so the comparison exercises the
+  refactored layers rather than the LP solver, whose cost is identical
+  on both paths and would otherwise dominate the denominator.
+* ``state_layer`` — an observe+apply replay of a decision sequence
+  recorded once from a closed-loop run.  This isolates exactly the
+  layers the array refactor rewired (sampling, queue laws, batteries)
+  from controller time.
+* ``apply_kernel`` — the apply half alone: the Eq. 15/28/30/31 queue
+  updates and the battery kernel.
+
+Before timing, the script replays the recorded decisions through both
+state classes and asserts the final queue/battery/virtual-queue state
+is identical (``paths_match``) — the speedup is only meaningful if the
+two paths compute the same trajectory.
+
+The ``--check-baseline`` gate compares against the committed
+``benchmarks/bench_slotloop_baseline.json``.  Raw slots/sec shifts with
+host hardware, so the gate is hardware-normalized: the baseline's array
+slots/sec is rescaled by (object-now / object-baseline) measured in the
+same run, and the check fails if the current array number falls below
+70% of that expectation — i.e. a >30% regression of the array path
+relative to the object path it shipped with.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_slotloop.py [--smoke]
+        [--output BENCH_slotloop.json] [--check-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+_REPO = Path(__file__).resolve().parent.parent
+try:  # pragma: no cover - path shim for direct invocation
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.config import small_scenario
+from repro.sim.engine import SlotSimulator
+from repro.state import NetworkState, ReferenceNetworkState
+from repro.types import SchedulerKind
+
+BASELINE_PATH = _REPO / "benchmarks" / "bench_slotloop_baseline.json"
+
+#: (name, num_users, num_slots, full-loop reps, replay reps) per mode.
+SCALES = {
+    "full": [
+        ("U25", 25, 40, 3, 15),
+        ("U200", 200, 8, 3, 15),
+    ],
+    "smoke": [
+        ("U25", 25, 10, 2, 5),
+        ("U200", 200, 6, 2, 5),
+    ],
+}
+
+#: Regression gate: array slots/sec below this fraction of the
+#: hardware-normalized baseline expectation fails the check.
+GATE_FRACTION = 0.7
+
+
+def _build(params, state_cls) -> SlotSimulator:
+    return SlotSimulator.integral(
+        params, state_cls=state_cls, scheduler_kind=SchedulerKind.GREEDY
+    )
+
+
+def _final_state_fingerprint(sim: SlotSimulator) -> Tuple:
+    state = sim.state
+    return (
+        state.data_queues.snapshot(),
+        state.virtual_queues.snapshot(),
+        dict(state.battery_levels()),
+        dict(state.z_values()),
+        dict(state.h_backlogs()),
+    )
+
+
+def _time_full_loop(params, state_cls, reps: int) -> Tuple[float, Tuple, List]:
+    """Best-of-``reps`` closed-loop slots/sec, plus the run's trajectory."""
+    best = float("inf")
+    fingerprint: Tuple = ()
+    snapshots: List = []
+    for _ in range(reps):
+        sim = _build(params, state_cls)
+        start = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        fingerprint = _final_state_fingerprint(sim)
+        snapshots = [slot.snapshot for slot in result.metrics.slots]
+    return params.num_slots / best, fingerprint, snapshots
+
+
+def _record_decisions(params) -> List:
+    """One closed-loop run on the array path, keeping each SlotDecision."""
+    sim = _build(params, NetworkState)
+    return [sim.step(slot) for slot in range(params.num_slots)]
+
+
+def _time_replay(
+    params, state_cls, decisions: List, reps: int
+) -> Tuple[float, float, Tuple]:
+    """Best-of-``reps`` (observe+apply, apply-only) slots/sec."""
+    best_total = float("inf")
+    best_apply = float("inf")
+    fingerprint: Tuple = ()
+    for _ in range(reps):
+        sim = _build(params, state_cls)
+        observe = sim.state.observe
+        apply = sim.state.apply
+        total = apply_time = 0.0
+        for slot, decision in enumerate(decisions):
+            t0 = time.perf_counter()
+            observe(slot)
+            t1 = time.perf_counter()
+            apply(decision, slot, enforce_complementarity=True)
+            t2 = time.perf_counter()
+            total += t2 - t0
+            apply_time += t2 - t1
+        best_total = min(best_total, total)
+        best_apply = min(best_apply, apply_time)
+        fingerprint = _final_state_fingerprint(sim)
+    slots = len(decisions)
+    return slots / best_total, slots / best_apply, fingerprint
+
+
+def _metric(object_sps: float, array_sps: float) -> Dict[str, float]:
+    return {
+        "object_slots_per_sec": round(object_sps, 2),
+        "array_slots_per_sec": round(array_sps, 2),
+        "speedup": round(array_sps / object_sps, 3),
+    }
+
+
+def bench_scenario(
+    name: str, num_users: int, num_slots: int, full_reps: int, replay_reps: int
+) -> Dict:
+    params = small_scenario(num_users=num_users, num_slots=num_slots)
+
+    obj_full, obj_fp, obj_snaps = _time_full_loop(
+        params, ReferenceNetworkState, full_reps
+    )
+    arr_full, arr_fp, arr_snaps = _time_full_loop(params, NetworkState, full_reps)
+    closed_match = obj_fp == arr_fp and obj_snaps == arr_snaps
+
+    decisions = _record_decisions(params)
+    obj_state, obj_apply, obj_replay_fp = _time_replay(
+        params, ReferenceNetworkState, decisions, replay_reps
+    )
+    arr_state, arr_apply, arr_replay_fp = _time_replay(
+        params, NetworkState, decisions, replay_reps
+    )
+    replay_match = obj_replay_fp == arr_replay_fp
+
+    return {
+        "num_users": num_users,
+        "num_slots": num_slots,
+        "full_loop": _metric(obj_full, arr_full),
+        "state_layer": _metric(obj_state, arr_state),
+        "apply_kernel": _metric(obj_apply, arr_apply),
+        "paths_match": bool(closed_match and replay_match),
+    }
+
+
+def check_baseline(report: Dict, baseline: Dict) -> List[str]:
+    """Hardware-normalized >30% regression check (module docstring)."""
+    failures: List[str] = []
+    for name, current in report["scenarios"].items():
+        base = baseline.get("scenarios", {}).get(name)
+        if base is None:
+            continue
+        for metric in ("full_loop", "state_layer"):
+            cur = current[metric]
+            ref = base[metric]
+            scale = cur["object_slots_per_sec"] / ref["object_slots_per_sec"]
+            expected = ref["array_slots_per_sec"] * scale
+            floor = GATE_FRACTION * expected
+            if cur["array_slots_per_sec"] < floor:
+                failures.append(
+                    f"{name}/{metric}: array path {cur['array_slots_per_sec']:.1f}"
+                    f" slots/s is below the regression floor {floor:.1f}"
+                    f" (baseline {ref['array_slots_per_sec']:.1f} scaled by"
+                    f" {scale:.2f} for this host, gate {GATE_FRACTION:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scale for CI (fewer slots and repetitions)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_slotloop.json"),
+        help="where to write the report (default: ./BENCH_slotloop.json)",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="fail if the array path regresses >30%% against "
+        "benchmarks/bench_slotloop_baseline.json (hardware-normalized)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="baseline file for --check-baseline",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    scenarios: Dict[str, Dict] = {}
+    for name, users, slots, full_reps, replay_reps in SCALES[mode]:
+        print(f"benchmarking {name} (users={users}, slots={slots}) ...", flush=True)
+        scenarios[name] = bench_scenario(name, users, slots, full_reps, replay_reps)
+        summary = scenarios[name]
+        print(
+            f"  full_loop {summary['full_loop']['speedup']:.2f}x | "
+            f"state_layer {summary['state_layer']['speedup']:.2f}x | "
+            f"apply_kernel {summary['apply_kernel']['speedup']:.2f}x | "
+            f"paths_match={summary['paths_match']}",
+            flush=True,
+        )
+
+    u200 = scenarios.get("U200", {})
+    acceptance = {
+        "u200_state_layer_speedup": u200.get("state_layer", {}).get("speedup"),
+        "meets_3x": bool(
+            u200.get("state_layer", {}).get("speedup", 0.0) >= 3.0
+        ),
+    }
+    report = {
+        "schema": "bench_slotloop/v1",
+        "mode": mode,
+        "scheduler": "GREEDY",
+        "scenarios": scenarios,
+        "acceptance": acceptance,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    rc = 0
+    if any(not s["paths_match"] for s in scenarios.values()):
+        print("FAIL: object and array paths diverged", file=sys.stderr)
+        rc = 1
+    if args.check_baseline:
+        if not args.baseline.exists():
+            print(f"FAIL: baseline {args.baseline} not found", file=sys.stderr)
+            rc = 1
+        else:
+            baseline = json.loads(args.baseline.read_text())
+            failures = check_baseline(report, baseline)
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            if failures:
+                rc = 1
+            else:
+                print("baseline check passed")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

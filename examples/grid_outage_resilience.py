@@ -51,6 +51,9 @@ def run_with_outage(battery_scale: float):
             rng=simulator.rng.environment,
             outages=[OUTAGE],
         )
+    # Rebinding grids on a live state invalidates its derived caches
+    # (the batched sampling plan, mobility gains): reset before running.
+    simulator.state.reset_caches()
     return simulator.run()
 
 

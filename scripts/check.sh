@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # The full local quality gate, in the same order CI runs it:
 #
-#   1. repro.lint     — the project's own AST rules R001-R005 (always runs)
+#   1. repro.lint     — the project's own AST rules R001-R006 (always runs)
 #   2. repro.analysis — units dataflow R010-R012 + equation audit (always runs)
 #   3. ruff           — generic style/bug lint         (if installed)
 #   4. mypy           — strict on the foundation modules (if installed)
@@ -21,7 +21,7 @@ step() {
     echo "==> $*"
 }
 
-step "repro.lint (R001-R005)"
+step "repro.lint (R001-R006)"
 python -m repro.lint src tests benchmarks || failures=$((failures + 1))
 
 step "repro.analysis units dataflow (R010-R012)"

@@ -28,9 +28,20 @@ import enum
 import logging
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.constants import FEASIBILITY_EPS
+from repro.core.arraystate import LinkArrayMapping, NodeArrayMapping
 from repro.contracts.violations import ContractViolation
 from repro.phy.sinr import sinr_of_transmission
 from repro.types import Link, NodeId, QueueSemantics, SessionId, Transmission
@@ -89,11 +100,16 @@ def coerce_strictness(
 
 @dataclass(frozen=True)
 class PreApplySnapshot:
-    """State captured immediately before ``NetworkState.apply``."""
+    """State captured immediately before ``NetworkState.apply``.
 
-    data_backlogs: Dict[Tuple[NodeId, SessionId], float]
-    g_backlogs: Dict[Link, float]
-    battery_levels: Dict[NodeId, float]
+    The array-backed state captures mapping adapters over *copies* of
+    its arrays (see docs/contracts.md); the reference object path
+    captures plain dicts.  Both satisfy the mapping protocols below.
+    """
+
+    data_backlogs: MutableMapping[Tuple[NodeId, SessionId], float]
+    g_backlogs: Mapping[Link, float]
+    battery_levels: Mapping[NodeId, float]
 
 
 class ContractChecker:
@@ -481,6 +497,15 @@ class ContractChecker:
         """Snapshot the queue/battery state before ``apply``."""
         if not self.enabled:
             return None
+        arrays = getattr(state, "arrays", None)
+        if arrays is not None:
+            return PreApplySnapshot(
+                data_backlogs=arrays.q_mapping(copy=True),
+                g_backlogs=LinkArrayMapping(
+                    arrays.g.copy(), arrays.links, arrays.link_pos
+                ),
+                battery_levels=NodeArrayMapping(arrays.battery_level.copy()),
+            )
         return PreApplySnapshot(
             data_backlogs=state.data_queues.snapshot(),
             g_backlogs=state.virtual_queues.snapshot(),

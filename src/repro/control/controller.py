@@ -19,7 +19,7 @@ simulator applies the returned :class:`SlotDecision`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
 
 import numpy as np
 
@@ -151,7 +151,7 @@ class DriftPlusPenaltyController:
         schedule: ScheduleDecision,
         observation: SlotObservation,
         state: NetworkState,
-        h_backlogs: Dict[Link, float],
+        h_backlogs: Mapping[Link, float],
     ) -> Dict[NodeId, float]:
         """Shed transmissions until every node's demand is supplied.
 
@@ -246,6 +246,7 @@ class DriftPlusPenaltyController:
             state.backlog,
             h_backlogs,
             allowed_links=self._allowed_links,
+            arrays=getattr(state, "arrays", None),
         )
 
         z_values = state.z_values()

@@ -26,6 +26,7 @@ Capacity modes (see DESIGN.md, "substitutions"):
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.control.decisions import (
     ScheduleDecision,
     SlotObservation,
 )
+from repro.core.arraystate import ArrayState, LinkArrayMapping
 from repro.core.lyapunov import LyapunovConstants
 from repro.model import NetworkModel
 from repro.phy.capacity import max_link_capacity_bps
@@ -44,6 +46,23 @@ from repro.types import Link, NodeId, SessionId
 
 #: Signature for reading a data-queue backlog ``Q_i^s(t)``.
 BacklogFn = Callable[[NodeId, SessionId], float]
+
+
+@dataclass(frozen=True)
+class _RouterStatic:
+    """Frozen per-run routing tables over the link index.
+
+    Attributes:
+        eligible: ``(L, S)`` constraint-(17) mask — True where neither
+            endpoint of link ``p`` is session ``c``'s destination.
+        common_bands: per link, the static common-band set
+            ``M_i ∩ M_j`` (used when band access is not dynamic).
+        band_member: ``(L, M)`` bool form of ``common_bands``.
+    """
+
+    eligible: np.ndarray
+    common_bands: Tuple[frozenset, ...]
+    band_member: np.ndarray
 
 
 class RouterMode(enum.Enum):
@@ -69,6 +88,7 @@ class BackpressureRouter:
         self._rng = rng
         self._mode = mode
         self._checker = checker
+        self._static_cache: Optional[Tuple[ArrayState, "_RouterStatic"]] = None
 
     @property
     def mode(self) -> RouterMode:
@@ -98,6 +118,39 @@ class BackpressureRouter:
         )
         return best_bps * params.slot_seconds / params.sessions.packet_size_bits
 
+    def _router_static(self, arrays: ArrayState) -> "_RouterStatic":
+        """Per-``ArrayState`` link/session eligibility tables.
+
+        Cold path: built once per simulation run (keyed by array-state
+        identity) — the destination/source roles of constraints (16)/
+        (17) and the static common-band sets never change mid-run.
+        """
+        cached = self._static_cache
+        if cached is not None and cached[0] is arrays:
+            return cached[1]
+        sessions = self._model.sessions
+        # (17): destinations emit nothing; destination in-links are
+        # handled by the constraint-(18) pass.
+        dests = np.fromiter(
+            (s.destination for s in sessions), dtype=np.intp, count=len(sessions)
+        )
+        eligible = (arrays.link_tx[:, None] != dests[None, :]) & (
+            arrays.link_rx[:, None] != dests[None, :]
+        )
+        spectrum = self._model.spectrum
+        common = tuple(spectrum.common_bands(tx, rx) for tx, rx in arrays.links)
+        band_member = np.zeros((len(arrays.links), spectrum.num_bands), dtype=bool)
+        for pos, bands in enumerate(common):
+            for band in bands:
+                band_member[pos, band] = True
+        static = _RouterStatic(
+            eligible=eligible,
+            common_bands=common,
+            band_member=band_member,
+        )
+        self._static_cache = (arrays, static)
+        return static
+
     def _coefficient(
         self,
         backlog: BacklogFn,
@@ -120,6 +173,7 @@ class BackpressureRouter:
         backlog: BacklogFn,
         h_backlogs: Mapping[Link, float],
         allowed_links: Optional[Mapping[Link, bool]] = None,
+        arrays: Optional[ArrayState] = None,
     ) -> RoutingDecision:
         """Solve S3 for one slot.
 
@@ -130,6 +184,12 @@ class BackpressureRouter:
             backlog: accessor for ``Q_i^s(t)``.
             h_backlogs: current ``H_ij(t)``.
             allowed_links: optional link filter (one-hop baselines).
+            arrays: the state's ``ArrayState``, if array-backed.  When
+                given (and ``h_backlogs`` is a view over the same link
+                index) the objective coefficients are computed as one
+                array expression over the link index; selection order,
+                tie sets, and RNG draws are unchanged, so decisions are
+                bit-identical to the scalar path.
 
         Returns:
             Per-link per-session rates ``l_ij^s(t)`` in packets.
@@ -140,6 +200,19 @@ class BackpressureRouter:
 
         def link_allowed(link: Link) -> bool:
             return allowed_links is None or allowed_links.get(link, False)
+
+        # Vectorized coefficient matrix ``(-Q_i^s + Q_j^s + beta H_ij)``
+        # over (link, session); destination columns of Q are pinned at
+        # 0.0, matching the scalar rule's ``q_rx = 0`` at destinations.
+        coeff = None
+        if (
+            arrays is not None
+            and isinstance(h_backlogs, LinkArrayMapping)
+            and h_backlogs.links is arrays.links
+        ):
+            beta_h = self._constants.beta * h_backlogs.values_array
+            q = arrays.q
+            coeff = (-q[arrays.link_tx] + q[arrays.link_rx]) + beta_h[:, None]
 
         # Constraint (18): force v_s(t) onto the destination's
         # smallest-coefficient incoming candidate link.
@@ -156,15 +229,24 @@ class BackpressureRouter:
             ]
             if not in_links:
                 continue
-            coefficients = {
-                link: self._coefficient(
-                    backlog, h_backlogs, link, session.session_id, dest
-                )
-                for link in in_links
-                # Constraint (16): the source has no incoming traffic —
-                # irrelevant here since dest != source for a live session.
-                if link[0] != dest
-            }
+            if coeff is not None:
+                link_pos = arrays.link_pos
+                col = arrays.session_col[session.session_id]
+                coefficients = {
+                    link: coeff[link_pos[link], col]
+                    for link in in_links
+                    if link[0] != dest
+                }
+            else:
+                coefficients = {
+                    link: self._coefficient(
+                        backlog, h_backlogs, link, session.session_id, dest
+                    )
+                    for link in in_links
+                    # Constraint (16): the source has no incoming traffic —
+                    # irrelevant here since dest != source for a live session.
+                    if link[0] != dest
+                }
             best_value = min(coefficients.values())
             tied = [l for l, v in coefficients.items() if v == best_value]
             chosen = tied[0] if len(tied) == 1 else tied[self._rng.integers(len(tied))]
@@ -172,6 +254,24 @@ class BackpressureRouter:
             committed.add(chosen)
 
         # All other links: whole capacity to the most negative session.
+        if coeff is not None:
+            self._route_remaining_links_vectorized(
+                coeff,
+                arrays,
+                observation,
+                schedule,
+                admission,
+                rates,
+                committed,
+                allowed_links,
+            )
+            decision = RoutingDecision(rates=rates)
+            if self._checker is not None and self._checker.enabled:
+                self._checker.check_routing(
+                    self._model, decision, admission, observation.slot
+                )
+            return decision
+
         destinations = {s.session_id: s.destination for s in self._model.sessions}
         sources = dict(admission.sources)
         for link in topo.candidate_links:
@@ -212,3 +312,103 @@ class BackpressureRouter:
                 self._model, decision, admission, observation.slot
             )
         return decision
+
+    def _route_remaining_links_vectorized(
+        self,
+        coeff: np.ndarray,
+        arrays: ArrayState,
+        observation: SlotObservation,
+        schedule: ScheduleDecision,
+        admission: AdmissionDecision,
+        rates: Dict[Tuple[NodeId, NodeId, SessionId], float],
+        committed: set,
+        allowed_links: Optional[Mapping[Link, bool]],
+    ) -> None:
+        """Array-path second pass: whole capacity to the best session.
+
+        Eligibility, per-link capacity, the per-link minimum and the tie
+        sets all come out of ``(L, S)`` / ``(L, M)`` array expressions;
+        only the links that actually route are visited in Python, in
+        frozen link-index order, so rate insertion order and the
+        tie-break RNG draws replicate the scalar pass exactly.
+        """
+        params = self._model.params
+        static = self._router_static(arrays)
+        num_links = len(arrays.links)
+        sessions = arrays.sessions
+
+        # Per-link Eq.-(25) capacity, as one (L,) expression.
+        if self._mode is RouterMode.POTENTIAL_CAPACITY:
+            caps_bps = np.fromiter(
+                (
+                    max_link_capacity_bps(
+                        observation.bands.bandwidth(m), params.sinr_threshold
+                    )
+                    for m in range(self._model.spectrum.num_bands)
+                ),
+                dtype=np.float64,
+                count=self._model.spectrum.num_bands,
+            )
+            if observation.band_access is not None:
+                access = np.zeros((arrays.num_nodes, caps_bps.size), dtype=bool)
+                for node, bands in observation.band_access.items():  # noqa: R006 - builds the (N, M) access mask feeding the vectorized pass
+                    for band in bands:
+                        access[node, band] = True
+                member = access[arrays.link_tx] & access[arrays.link_rx]
+            else:
+                member = static.band_member
+            best_bps = np.max(
+                np.where(member, caps_bps[None, :], -np.inf),
+                axis=1,
+                initial=-np.inf,
+            )
+            best_bps[~member.any(axis=1)] = 0.0
+            capacity = best_bps * params.slot_seconds / params.sessions.packet_size_bits
+        else:
+            capacity = np.fromiter(
+                (schedule.service_pkts(link) for link in arrays.links),
+                dtype=np.float64,
+                count=num_links,
+            )
+
+        active = capacity > 0.0
+        for link in committed:
+            pos = arrays.link_pos.get(link)
+            if pos is not None:
+                active[pos] = False
+        if allowed_links is not None:
+            active &= np.fromiter(
+                (allowed_links.get(link, False) for link in arrays.links),
+                dtype=bool,
+                count=num_links,
+            )
+
+        src_by_col = np.fromiter(
+            (admission.sources[sid] for sid in sessions),
+            dtype=np.int64,
+            count=len(sessions),
+        )
+        # (16): sources receive nothing; eligible coefficients are
+        # strictly negative; (17) via the static mask.
+        mask = (
+            static.eligible
+            & (coeff < 0.0)
+            & (src_by_col[None, :] != arrays.link_rx[:, None])
+            & active[:, None]
+        )
+        routed = mask.any(axis=1)
+        if not routed.any():
+            return
+        best_value = np.min(np.where(mask, coeff, np.inf), axis=1)
+        ties = mask & (coeff == best_value[:, None])
+        tie_counts = ties.sum(axis=1)
+        first_col = ties.argmax(axis=1)
+
+        for pos in np.flatnonzero(routed):
+            tx, rx = arrays.links[pos]
+            if tie_counts[pos] == 1:
+                chosen_sid = sessions[first_col[pos]]
+            else:
+                tied_sessions = [sessions[c] for c in np.flatnonzero(ties[pos])]
+                chosen_sid = int(self._rng.choice(tied_sessions))
+            rates[(tx, rx, chosen_sid)] = float(capacity[pos])

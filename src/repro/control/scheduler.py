@@ -27,12 +27,14 @@ branch of Eq. (1).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.contracts import ContractChecker
 from repro.control.decisions import ScheduleDecision, SlotObservation
+from repro.core.arraystate import LinkArrayMapping
 from repro.core.lyapunov import LyapunovConstants
 from repro.model import NetworkModel
 from repro.phy.capacity import max_link_capacity_bps
@@ -46,6 +48,28 @@ from repro.types import Link, LinkBand, NodeId, SchedulerKind, Transmission
 #: Ignore links whose virtual backlog is below this (the paper's SF
 #: pre-step fixes ``a_ij^m = 0`` whenever ``H_ij = 0``).
 _H_EPS = 1e-12
+
+
+class _SchedulerStatic(NamedTuple):
+    """Frozen per-topology tables for the vectorized S1 weights.
+
+    Attributes:
+        link_tx: ``(L,)`` transmitter index per candidate link.
+        link_rx: ``(L,)`` receiver index per candidate link.
+        band_member: ``(L, M)`` bool form of the static common-band
+            sets ``M_i ∩ M_j``.
+        band_order: per-link band ids in the exact frozenset iteration
+            order of the scalar loop (candidate-dict insertion order).
+        max_power_tx: ``(L,)`` transmitter power cap per link (W).
+        recv_power_rx: ``(L,)`` receiver listening power per link (W).
+    """
+
+    link_tx: np.ndarray
+    link_rx: np.ndarray
+    band_member: np.ndarray
+    band_order: Tuple[Tuple[int, ...], ...]
+    max_power_tx: np.ndarray
+    recv_power_rx: np.ndarray
 
 
 class _RadioBudget:
@@ -102,6 +126,7 @@ class LinkScheduler:
         self._constants = constants
         self._kind = kind
         self._checker = checker
+        self._static_cache: Optional[Tuple[Tuple[Link, ...], _SchedulerStatic]] = None
 
     @property
     def kind(self) -> SchedulerKind:
@@ -143,6 +168,137 @@ class LinkScheduler:
             return None
         return power
 
+    def _scheduler_static(self, links: Tuple[Link, ...]) -> _SchedulerStatic:
+        """Per-topology index tables for the vectorized candidate pass.
+
+        Cold path: built once per candidate-link tuple (keyed by
+        identity) — radios, power caps, and the static band sets never
+        change mid-run.
+        """
+        cached = self._static_cache
+        if cached is not None and cached[0] is links:
+            return cached[1]
+        spectrum = self._model.spectrum
+        count = len(links)
+        link_tx = np.fromiter((tx for tx, _ in links), dtype=np.intp, count=count)
+        link_rx = np.fromiter((rx for _, rx in links), dtype=np.intp, count=count)
+        band_order = tuple(
+            tuple(spectrum.common_bands(tx, rx)) for tx, rx in links
+        )
+        band_member = np.zeros((count, spectrum.num_bands), dtype=bool)
+        for pos, bands in enumerate(band_order):
+            for band in bands:
+                band_member[pos, band] = True
+        max_power_tx = np.fromiter(
+            (self._model.max_power_w[tx] for tx, _ in links),
+            dtype=float,
+            count=count,
+        )
+        recv_power_rx = np.fromiter(
+            (self._model.nodes[rx].radio.recv_power_w for _, rx in links),
+            dtype=float,
+            count=count,
+        )
+        static = _SchedulerStatic(
+            link_tx=link_tx,
+            link_rx=link_rx,
+            band_member=band_member,
+            band_order=band_order,
+            max_power_tx=max_power_tx,
+            recv_power_rx=recv_power_rx,
+        )
+        self._static_cache = (links, static)
+        return static
+
+    def _candidates_vectorized(
+        self,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        energy_prices: Optional[Mapping[NodeId, float]],
+        links: Tuple[Link, ...],
+    ) -> Dict[LinkBand, float]:
+        """Array fast path of :meth:`_candidates` over the link index.
+
+        Computes the net weights as ``(active links, bands)`` array
+        expressions whose elementwise float64 chain mirrors the scalar
+        operation order bit for bit, then writes only the survivors to
+        the candidate dict in the scalar loop's (link, band) insertion
+        order — so every downstream selector (including the
+        insertion-order-sensitive matching tie-break) sees an
+        identical input.
+        """
+        beta = self._constants.beta
+        params = self._model.params
+        dt = params.slot_seconds
+        static = self._scheduler_static(links)
+        h_arr = h_backlogs.values_array
+        active = np.flatnonzero(h_arr > _H_EPS)
+        weights: Dict[LinkBand, float] = {}
+        if active.size == 0:
+            return weights
+
+        num_bands = static.band_member.shape[1]
+        service = np.fromiter(
+            (self._service_pkts(band, observation) for band in range(num_bands)),
+            dtype=float,
+            count=num_bands,
+        )
+        orders: Sequence[Tuple[int, ...]]
+        if observation.band_access is not None:
+            member = np.zeros((active.size, num_bands), dtype=bool)
+            dyn_orders: List[Tuple[int, ...]] = []
+            for i, pos in enumerate(active):
+                tx, rx = links[pos]
+                order = tuple(
+                    observation.band_access[tx] & observation.band_access[rx]
+                )
+                dyn_orders.append(order)
+                for band in order:
+                    member[i, band] = True
+            orders = dyn_orders
+        else:
+            member = static.band_member[active]
+            orders = [static.band_order[pos] for pos in active]
+
+        keep = member & (service[None, :] > 0.0)
+        weight = (beta * h_arr[active])[:, None] * service[None, :]
+        if energy_prices is not None:
+            noise = np.fromiter(
+                (
+                    self._model.noise_power_w(observation.bands.bandwidth(band))
+                    for band in range(num_bands)
+                ),
+                dtype=float,
+                count=num_bands,
+            )
+            tx_idx = static.link_tx[active]
+            rx_idx = static.link_rx[active]
+            g_link = np.asarray(self._gains(observation))[tx_idx, rx_idx]
+            power = (params.sinr_threshold * noise)[None, :] / g_link[:, None]
+            keep &= power <= static.max_power_tx[active][:, None]
+            price = np.fromiter(
+                (
+                    energy_prices.get(node, 0.0)
+                    for node in range(self._model.num_nodes)
+                ),
+                dtype=float,
+                count=self._model.num_nodes,
+            )
+            weight = weight - (price[tx_idx][:, None] * power) * dt
+            weight = weight - ((price[rx_idx] * static.recv_power_rx[active]) * dt)[
+                :, None
+            ]
+        keep &= weight > 0.0
+
+        for i, pos in enumerate(active):
+            tx, rx = links[pos]
+            keep_row = keep[i]
+            weight_row = weight[i]
+            for band in orders[i]:
+                if keep_row[band]:
+                    weights[(tx, rx, band)] = weight_row[band]
+        return weights
+
     def _candidates(
         self,
         observation: SlotObservation,
@@ -150,15 +306,23 @@ class LinkScheduler:
         energy_prices: Optional[Mapping[NodeId, float]] = None,
     ) -> Dict[LinkBand, float]:
         """Net weight per candidate link-band (module docstring)."""
+        links = self._model.topology.candidate_links
+        if isinstance(h_backlogs, LinkArrayMapping) and h_backlogs.links is links:
+            return self._candidates_vectorized(
+                observation, h_backlogs, energy_prices, links
+            )
         beta = self._constants.beta
         dt = self._model.params.slot_seconds
         weights: Dict[LinkBand, float] = {}
-        for tx, rx in self._model.topology.candidate_links:
-            backlog = h_backlogs.get((tx, rx), 0.0)
-            if backlog <= _H_EPS:
-                continue
+        # Per-slot service memo: every link-band on the same band
+        # carries the same packet rate, so compute it once per band.
+        service_by_band: Dict[int, float] = {}
+        for tx, rx, backlog in self._active_links(h_backlogs):
             for band in observation.common_bands(self._model, tx, rx):
-                service = self._service_pkts(band, observation)
+                service = service_by_band.get(band)
+                if service is None:
+                    service = self._service_pkts(band, observation)
+                    service_by_band[band] = service
                 if service <= 0:
                     continue
                 weight = beta * backlog * service
@@ -172,6 +336,28 @@ class LinkScheduler:
                 if weight > 0:
                     weights[(tx, rx, band)] = weight
         return weights
+
+    def _active_links(
+        self, h_backlogs: Mapping[Link, float]
+    ) -> Iterable[Tuple[NodeId, NodeId, float]]:
+        """Candidate links with ``H_ij`` above the SF pre-step floor.
+
+        When ``h_backlogs`` is an array view over the frozen link index
+        the floor test runs as one vectorized comparison; the surviving
+        links come back in candidate order either way, and elementwise
+        float64 values are bit-identical to the scalar reads.
+        """
+        links = self._model.topology.candidate_links
+        if isinstance(h_backlogs, LinkArrayMapping) and h_backlogs.links is links:
+            h_arr = h_backlogs.values_array
+            for pos in np.flatnonzero(h_arr > _H_EPS):
+                tx, rx = links[pos]
+                yield tx, rx, h_arr[pos]
+            return
+        for tx, rx in links:
+            backlog = h_backlogs.get((tx, rx), 0.0)
+            if backlog > _H_EPS:
+                yield tx, rx, backlog
 
     # ------------------------------------------------------------------
     # Activation algorithms
@@ -477,7 +663,7 @@ class LinkScheduler:
                 priority={link: h_backlogs.get(link, 0.0) for link in links},
             )
             service = self._service_pkts(band, observation)
-            for link, power in result.powers.items():
+            for link, power in result.powers.items():  # noqa: R006 - decision-sized LP output, not network-scaled state
                 decision.transmissions.append(
                     Transmission(tx=link[0], rx=link[1], band=band, power_w=power)
                 )

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import EnergyError
 from repro.units import Joules
@@ -98,7 +100,31 @@ class Battery:
         self.discharge_cap_j = discharge_cap_j
         self.charge_efficiency = charge_efficiency
         self.discharge_efficiency = discharge_efficiency
+        # The level lives in a (possibly shared) numpy buffer so the
+        # array-backed NetworkState can vectorize battery updates; a
+        # standalone battery owns a private 1-element buffer.
+        self._storage = np.zeros(1)
+        self._index = 0
         self._level_j = initial_level_j
+
+    @property
+    def _level_j(self) -> Joules:
+        return float(self._storage[self._index])
+
+    @_level_j.setter
+    def _level_j(self, value: Joules) -> None:
+        self._storage[self._index] = value
+
+    def bind_storage(self, buffer: np.ndarray, index: int) -> None:
+        """Re-home the level into slot ``index`` of a shared array.
+
+        Cold path: called once per node by the array-backed
+        ``NetworkState``.  The current level is written into the shared
+        buffer, so binding never changes the observable state.
+        """
+        buffer[index] = self._storage[self._index]
+        self._storage = buffer
+        self._index = int(index)
 
     @property
     def level_j(self) -> Joules:

@@ -1,4 +1,4 @@
-"""Project-specific AST lint suite (rules R001-R005).
+"""Project-specific AST lint suite (rules R001-R006).
 
 Run as ``python -m repro.lint src tests benchmarks``; see
 ``python -m repro.lint --explain`` for the rule catalogue and

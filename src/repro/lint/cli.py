@@ -157,7 +157,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _run(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Paper-reproduction lint rules (R001-R005).",
+        description="Paper-reproduction lint rules (R001-R006).",
     )
     parser.add_argument(
         "paths",

@@ -1,4 +1,4 @@
-"""The project lint rules (R001-R005), implemented over ``ast``.
+"""The project lint rules (R001-R006), implemented over ``ast``.
 
 Each rule is a small class with an id, a one-line title, a long
 ``explain`` text (surfaced by ``python -m repro.lint --explain R00x``)
@@ -522,6 +522,113 @@ __init__.py re-export shims and test code are exempt.
                 yield finding
 
 
+class HotPathDictLoopRule(Rule):
+    """R006 — hot-path modules stay vectorized over state containers."""
+
+    rule_id = "R006"
+    title = "no per-item dict iteration over state containers in hot-path modules"
+    explain = """\
+PR 5 moved the per-slot state — data queues Q_i^s (Eq. 15), virtual
+queues G_ij/H_ij (Eqs. 28/30), battery levels and z_i (Eq. 31) — into
+the struct-of-arrays core (repro/core/arraystate.py).  The hot per-slot
+modules (repro/queueing/*, repro/state.py, repro/control/router.py,
+repro/control/scheduler.py) now update that state through vectorized
+numpy kernels; a `for key, value in self.<container>.items()` loop over
+nodes, links, or sessions in those modules silently reintroduces the
+interpreter-bound path the refactor removed.
+
+Flagged: for-loops and comprehensions iterating `.items()` /
+`.values()` / `.keys()` of an *attribute-chain* receiver (e.g.
+`self._queues.items()`, `decision.energy.allocations.items()`) — those
+are the persistent containers that scale with network size.
+
+Exempt by design:
+  * bare-name receivers (`transfer.items()`): local working dicts are
+    decision-sized, not network-sized;
+  * functions whose docstring marks them "cold path" (constructors,
+    snapshot/diagnostic pretty-printing that runs outside the slot
+    loop);
+  * modules whose docstring contains "R006-exempt" (the reference
+    object-path banks in repro/queueing/reference.py keep their loops
+    on purpose — they are the equivalence baseline);
+  * anything carrying `# noqa: R006` with a justification.
+
+Fix: index through the frozen ArrayState layout (q, g, battery_level
+and the link_tx/link_rx index arrays) instead of looping per key, or
+document why the loop is not hot.
+"""
+
+    _DICT_METHODS = frozenset({"items", "values", "keys"})
+    _HOT_CONTROL_FILES = frozenset({"router.py", "scheduler.py"})
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        if not ctx.is_library:
+            return False
+        parent = ctx.path.parent.name
+        if parent == "queueing":
+            return True
+        if ctx.path.name == "state.py" and parent == "repro":
+            return True
+        return parent == "control" and ctx.path.name in self._HOT_CONTROL_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        module = ctx.tree
+        if isinstance(module, ast.Module):
+            docstring = ast.get_docstring(module)
+            if docstring is not None and "R006-exempt" in docstring:
+                return
+        yield from self._walk(ctx, module, exempt=False)
+
+    def _walk(
+        self, ctx: FileContext, node: ast.AST, exempt: bool
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_exempt = exempt
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                docstring = ast.get_docstring(child) or ""
+                if "cold path" in docstring.lower():
+                    child_exempt = True
+            if not child_exempt:
+                if isinstance(child, ast.For):
+                    iterables = [child.iter]
+                elif isinstance(
+                    child,
+                    (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+                ):
+                    iterables = [gen.iter for gen in child.generators]
+                else:
+                    iterables = []
+                for iterable in iterables:
+                    receiver = self._state_dict_receiver(iterable)
+                    if receiver is None:
+                        continue
+                    finding = ctx.finding(
+                        iterable,
+                        self.rule_id,
+                        f"per-item iteration over {receiver} in a hot-path "
+                        "module: use the ArrayState vectorized kernels, or "
+                        'mark the enclosing function "cold path"',
+                    )
+                    if finding is not None:
+                        yield finding
+            yield from self._walk(ctx, child, child_exempt)
+
+    def _state_dict_receiver(self, node: ast.AST) -> Optional[str]:
+        """The dotted receiver of ``<attr-chain>.items()``-style iterables."""
+        if not isinstance(node, ast.Call) or node.args or node.keywords:
+            return None
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._DICT_METHODS:
+            return None
+        # Bare-name receivers (local working dicts) are exempt; only
+        # attribute chains — persistent state containers — are hot.
+        if not isinstance(func.value, ast.Attribute):
+            return None
+        return _dotted_name(func.value) or "a state container"
+
+
 #: Every rule, in id order — the CLI's default selection.
 ALL_RULES: Sequence[Rule] = (
     RngDisciplineRule(),
@@ -529,6 +636,7 @@ ALL_RULES: Sequence[Rule] = (
     MutableDefaultRule(),
     PublicAnnotationRule(),
     EquationCitationRule(),
+    HotPathDictLoopRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}

@@ -10,9 +10,13 @@ queue total, for one slot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Tuple
+from typing import TYPE_CHECKING, Iterable, Mapping, Tuple
 
+from repro.core.arraystate import seq_sum
 from repro.types import Link, NodeId, SessionId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see state.py)
+    from repro.core.arraystate import ArrayState
 
 
 @dataclass(frozen=True)
@@ -66,4 +70,22 @@ def make_snapshot(
         bs_energy_j=bs_energy,
         user_energy_j=user_energy,
         virtual_packets=sum(virtual_backlogs.values()),
+    )
+
+
+def make_snapshot_from_arrays(slot: int, arrays: "ArrayState") -> BacklogSnapshot:
+    """Aggregate an :class:`~repro.core.arraystate.ArrayState` directly.
+
+    Node ids are dense, so the bs/user row splits are contiguous index
+    sets; destination cells of ``q`` hold exactly ``0.0``, so summing
+    whole rows with :func:`seq_sum` matches the valid-cells-only
+    sequential sums of :func:`make_snapshot` bit for bit.
+    """
+    return BacklogSnapshot(
+        slot=slot,
+        bs_data_packets=seq_sum(arrays.q[arrays.bs_rows]),
+        user_data_packets=seq_sum(arrays.q[arrays.user_rows]),
+        bs_energy_j=seq_sum(arrays.battery_level[arrays.bs_rows]),
+        user_energy_j=seq_sum(arrays.battery_level[arrays.user_rows]),
+        virtual_packets=seq_sum(arrays.g),
     )

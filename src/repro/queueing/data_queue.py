@@ -10,13 +10,24 @@ network immediately).  Two transfer semantics are supported (see
 ``QueueSemantics``): the paper's null-packet idealisation credits the
 receiver with the full scheduled rate; the packet-accurate mode credits
 only what the transmitter really held.
+
+The bank stores every backlog in one dense ``(num_nodes, num_sessions)``
+array (optionally shared with an
+:class:`~repro.core.arraystate.ArrayState`) and advances Eq. 15 with a
+single vectorized update; elementwise numpy float64 arithmetic is
+bit-identical to the scalar chain it replaced.  The per-object
+:class:`DataQueue` remains for standalone use and for the reference
+object path in :mod:`repro.queueing.reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+import numpy as np
+
+from repro.core.arraystate import ArrayState, seq_sum
 from repro.exceptions import QueueError
 from repro.types import NodeId, QueueSemantics, SessionId
 from repro.units import Packets
@@ -49,6 +60,12 @@ class DataQueueBank:
 
     Destinations are excluded: the paper's destination node ``d_s``
     passes packets straight to the upper layers.
+
+    Backlogs live in ``self._q[row, col]`` with rows in ``nodes`` order
+    and columns in ``session_destinations`` key order; destination cells
+    exist in the array but are masked invalid and pinned at ``0.0``.
+    When ``storage`` is given the bank adopts the ``ArrayState``'s ``q``
+    buffer (and its frozen indices) instead of allocating its own.
     """
 
     def __init__(
@@ -56,14 +73,37 @@ class DataQueueBank:
         nodes: Iterable[NodeId],
         session_destinations: Mapping[SessionId, NodeId],
         semantics: QueueSemantics = QueueSemantics.PAPER,
+        storage: Optional[ArrayState] = None,
     ) -> None:
+        """Freeze the node/session index and allocate (or adopt) ``q``.
+
+        Cold path: runs once, before the slot loop.
+        """
         self._destinations = dict(session_destinations)
         self._semantics = semantics
-        self._queues: Dict[Tuple[NodeId, SessionId], DataQueue] = {}
-        for node in nodes:
+        if storage is not None:
+            self._node_order: Tuple[NodeId, ...] = tuple(range(storage.num_nodes))
+            self._rows: Dict[NodeId, int] = {i: i for i in self._node_order}
+            self._session_order: Tuple[SessionId, ...] = storage.sessions
+            self._cols: Dict[SessionId, int] = storage.session_col
+            self._q = storage.q
+            self._valid = storage.q_valid
+            self._invalid = storage.q_invalid
+        else:
+            self._node_order = tuple(nodes)
+            self._rows = {node: row for row, node in enumerate(self._node_order)}
+            self._session_order = tuple(self._destinations)
+            self._cols = {sid: col for col, sid in enumerate(self._session_order)}
+            shape = (len(self._node_order), len(self._session_order))
+            self._q = np.zeros(shape)
+            valid = np.ones(shape, dtype=bool)
             for session, dest in self._destinations.items():
-                if node != dest:
-                    self._queues[(node, session)] = DataQueue(node, session)
+                row = self._rows.get(dest)
+                if row is not None:
+                    valid[row, self._cols[session]] = False
+            self._valid = valid
+            self._invalid = ~valid
+        self._has_invalid = bool(self._invalid.any())
 
     @property
     def semantics(self) -> QueueSemantics:
@@ -74,25 +114,40 @@ class DataQueueBank:
         """``Q_i^s(t)``; destinations report a permanent 0."""
         if self._destinations.get(session) == node:
             return 0.0
-        try:
-            return self._queues[(node, session)].backlog
-        except KeyError:
-            raise QueueError(f"no queue for node {node}, session {session}") from None
+        row = self._rows.get(node)
+        col = self._cols.get(session)
+        if row is None or col is None:
+            raise QueueError(f"no queue for node {node}, session {session}")
+        return float(self._q[row, col])
 
     def has_queue(self, node: NodeId, session: SessionId) -> bool:
         """True unless ``node`` is the destination of ``session``."""
-        return (node, session) in self._queues
+        row = self._rows.get(node)
+        col = self._cols.get(session)
+        return row is not None and col is not None and bool(self._valid[row, col])
 
     def total_backlog(self, nodes: Iterable[NodeId]) -> Packets:
         """Sum of backlogs over ``nodes`` and all sessions."""
         node_set = set(nodes)
-        return sum(
-            q.backlog for (node, _), q in self._queues.items() if node in node_set
-        )
+        rows = [row for node, row in self._rows.items() if node in node_set]  # noqa: R006 - node-count row filter in front of the vectorized sum
+        # Invalid cells hold exactly 0.0, so summing whole rows matches
+        # the valid-cells-only sequential sum bit for bit.
+        return seq_sum(self._q[rows])
 
     def snapshot(self) -> Dict[Tuple[NodeId, SessionId], Packets]:
-        """A copy of every backlog, keyed by ``(node, session)``."""
-        return {key: q.backlog for key, q in self._queues.items()}
+        """A copy of every backlog, keyed by ``(node, session)``.
+
+        Cold path: used by diagnostics and the contracts checker, not
+        the per-slot update.
+        """
+        q = self._q
+        valid = self._valid
+        return {
+            (node, session): float(q[row, col])
+            for row, node in enumerate(self._node_order)
+            for col, session in enumerate(self._session_order)
+            if valid[row, col]
+        }
 
     def effective_rates(
         self, rates: Mapping[Tuple[NodeId, NodeId, SessionId], Packets]
@@ -127,8 +182,8 @@ class DataQueueBank:
         self,
         rates: Mapping[Tuple[NodeId, NodeId, SessionId], Packets],
         admissions: Mapping[SessionId, Iterable[Tuple[NodeId, Packets]]],
-    ) -> Dict[Tuple[NodeId, SessionId], Packets]:
-        """Advance every queue one slot.
+    ) -> None:
+        """Advance every queue one slot (vectorized Eq. 15).
 
         Args:
             rates: scheduled per-link per-session rates
@@ -136,27 +191,50 @@ class DataQueueBank:
             admissions: per-session lists of ``(source_bs, k)`` arrival
                 pairs (a single pair for the integral algorithm; the
                 relaxed LP bound may split across base stations).
-
-        Returns:
-            The new backlogs, keyed like :meth:`snapshot`.
         """
         transfer = self.effective_rates(rates)
 
-        service: Dict[Tuple[NodeId, SessionId], float] = {}
-        arrivals: Dict[Tuple[NodeId, SessionId], float] = {}
-        for (tx, rx, session), rate in transfer.items():
-            service[(tx, session)] = service.get((tx, session), 0.0) + rate
-            arrivals[(rx, session)] = arrivals.get((rx, session), 0.0) + rate
-        for session, pairs in admissions.items():
+        service = np.zeros(self._q.shape)
+        arrivals = np.zeros(self._q.shape)
+        rows = self._rows
+        cols = self._cols
+        for (tx, rx, session), rate in transfer.items():  # noqa: R006 - decision-sized mapping feeding the vectorized buffers
+            col = cols.get(session)
+            if col is None:
+                continue
+            row = rows.get(tx)
+            if row is not None:
+                service[row, col] += rate
+            row = rows.get(rx)
+            if row is not None:
+                arrivals[row, col] += rate
+        for session, pairs in admissions.items():  # noqa: R006 - decision-sized mapping feeding the vectorized buffers
+            col = cols.get(session)
             for source, admitted in pairs:
                 if admitted < 0:
                     raise QueueError(
                         f"negative admission {admitted} for session {session}"
                     )
-                arrivals[(source, session)] = (
-                    arrivals.get((source, session), 0.0) + admitted
-                )
+                row = rows.get(source)
+                if col is not None and row is not None:
+                    arrivals[row, col] += admitted
 
-        for key, queue in self._queues.items():
-            queue.step(service.get(key, 0.0), arrivals.get(key, 0.0))
-        return self.snapshot()
+        bad = ((service < 0.0) | (arrivals < 0.0)) & self._valid
+        if bad.any():
+            row, col = (int(i) for i in np.argwhere(bad)[0])
+            node = self._node_order[row]
+            session = self._session_order[col]
+            if service[row, col] < 0:
+                raise QueueError(
+                    f"negative service {service[row, col]} at Q[{node}][{session}]"
+                )
+            raise QueueError(
+                f"negative arrivals {arrivals[row, col]} at Q[{node}][{session}]"
+            )
+
+        np.subtract(self._q, service, out=self._q)
+        np.maximum(self._q, 0.0, out=self._q)
+        np.add(self._q, arrivals, out=self._q)
+        if self._has_invalid:
+            # Destination cells take no arrivals; re-pin them at 0.0.
+            self._q[self._invalid] = 0.0

@@ -13,6 +13,8 @@ affine relation as an invariant.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import QueueError
 from repro.types import NodeId
@@ -40,7 +42,31 @@ class ShiftedEnergyQueue:
             )
         self.node = node
         self.shift_j = control_v * gamma_max + discharge_cap_j
+        # The level lives in a (possibly shared) numpy buffer; the
+        # array-backed NetworkState binds it to the same slot as the
+        # node's Battery, so mirroring the battery level is free.
+        self._storage = np.zeros(1)
+        self._index = 0
         self._level_j = initial_level_j
+
+    @property
+    def _level_j(self) -> Joules:
+        return float(self._storage[self._index])
+
+    @_level_j.setter
+    def _level_j(self, value: Joules) -> None:
+        self._storage[self._index] = value
+
+    def bind_storage(self, buffer: np.ndarray, index: int) -> None:
+        """Re-home the level into slot ``index`` of a shared array.
+
+        Cold path: called once per node by the array-backed
+        ``NetworkState``.  The current level is written into the shared
+        buffer, so binding never changes the observable state.
+        """
+        buffer[index] = self._storage[self._index]
+        self._storage = buffer
+        self._index = int(index)
 
     @property
     def level_j(self) -> Joules:

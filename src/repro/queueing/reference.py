@@ -1,0 +1,137 @@
+"""Reference dict-of-objects queue banks (pre-vectorization, R006-exempt).
+
+These are the historical per-key implementations of
+:class:`~repro.queueing.data_queue.DataQueueBank` and
+:class:`~repro.queueing.virtual_queue.VirtualQueueBank`, kept verbatim
+as the *object path*: ``ReferenceNetworkState`` builds its banks from
+this module, and the equivalence suite + ``benchmarks/bench_slotloop.py``
+pin the vectorized array path against it bit for bit.
+
+This module is intentionally full of per-item dict loops — that is the
+thing it preserves — so it is exempt from lint rule R006.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.exceptions import QueueError
+from repro.queueing.data_queue import DataQueue, DataQueueBank
+from repro.queueing.virtual_queue import LinkVirtualQueue, VirtualQueueBank
+from repro.types import Link, NodeId, QueueSemantics, SessionId
+from repro.units import Packets
+
+
+class ReferenceDataQueueBank(DataQueueBank):
+    """Dict-of-:class:`DataQueue` bank with per-key update loops."""
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        session_destinations: Mapping[SessionId, NodeId],
+        semantics: QueueSemantics = QueueSemantics.PAPER,
+    ) -> None:
+        self._destinations = dict(session_destinations)
+        self._semantics = semantics
+        self._queues: Dict[Tuple[NodeId, SessionId], DataQueue] = {}
+        for node in nodes:
+            for session, dest in self._destinations.items():
+                if node != dest:
+                    self._queues[(node, session)] = DataQueue(node, session)
+
+    def backlog(self, node: NodeId, session: SessionId) -> Packets:
+        """``Q_i^s(t)``; destinations report a permanent 0."""
+        if self._destinations.get(session) == node:
+            return 0.0
+        try:
+            return self._queues[(node, session)].backlog
+        except KeyError:
+            raise QueueError(f"no queue for node {node}, session {session}") from None
+
+    def has_queue(self, node: NodeId, session: SessionId) -> bool:
+        """True unless ``node`` is the destination of ``session``."""
+        return (node, session) in self._queues
+
+    def total_backlog(self, nodes: Iterable[NodeId]) -> Packets:
+        """Sum of backlogs over ``nodes`` and all sessions."""
+        node_set = set(nodes)
+        return sum(
+            q.backlog for (node, _), q in self._queues.items() if node in node_set
+        )
+
+    def snapshot(self) -> Dict[Tuple[NodeId, SessionId], Packets]:
+        """A copy of every backlog, keyed by ``(node, session)``."""
+        return {key: q.backlog for key, q in self._queues.items()}
+
+    def step(
+        self,
+        rates: Mapping[Tuple[NodeId, NodeId, SessionId], Packets],
+        admissions: Mapping[SessionId, Iterable[Tuple[NodeId, Packets]]],
+    ) -> None:
+        """Advance every queue one slot (per-key Eq. 15 loops)."""
+        transfer = self.effective_rates(rates)
+
+        service: Dict[Tuple[NodeId, SessionId], float] = {}
+        arrivals: Dict[Tuple[NodeId, SessionId], float] = {}
+        for (tx, rx, session), rate in transfer.items():
+            service[(tx, session)] = service.get((tx, session), 0.0) + rate
+            arrivals[(rx, session)] = arrivals.get((rx, session), 0.0) + rate
+        for session, pairs in admissions.items():
+            for source, admitted in pairs:
+                if admitted < 0:
+                    raise QueueError(
+                        f"negative admission {admitted} for session {session}"
+                    )
+                arrivals[(source, session)] = (
+                    arrivals.get((source, session), 0.0) + admitted
+                )
+
+        for key, queue in self._queues.items():
+            queue.step(service.get(key, 0.0), arrivals.get(key, 0.0))
+
+
+class ReferenceVirtualQueueBank(VirtualQueueBank):
+    """Dict-of-:class:`LinkVirtualQueue` bank with per-key loops."""
+
+    def __init__(self, links: Iterable[Link], beta: float) -> None:
+        if beta <= 0:
+            raise QueueError(f"beta must be positive, got {beta}")
+        self.beta = beta
+        self._queues: Dict[Link, LinkVirtualQueue] = {
+            link: LinkVirtualQueue(link=link, beta=beta) for link in links
+        }
+
+    def g(self, link: Link) -> Packets:
+        """``G_ij(t)`` for one link."""
+        try:
+            return self._queues[link].g_backlog
+        except KeyError:
+            raise QueueError(f"no virtual queue for link {link}") from None
+
+    def h(self, link: Link) -> Packets:
+        """``H_ij(t)`` for one link."""
+        try:
+            return self._queues[link].h_backlog
+        except KeyError:
+            raise QueueError(f"no virtual queue for link {link}") from None
+
+    def total_g(self) -> Packets:
+        """Sum of all ``G_ij(t)`` backlogs."""
+        return sum(q.g_backlog for q in self._queues.values())
+
+    def total_h(self) -> Packets:
+        """Sum of all ``H_ij(t)`` backlogs."""
+        return sum(q.h_backlog for q in self._queues.values())
+
+    def snapshot(self) -> Dict[Link, Packets]:
+        """A copy of every ``G_ij`` backlog."""
+        return {link: q.g_backlog for link, q in self._queues.items()}
+
+    def step(
+        self,
+        arrivals_pkts: Mapping[Link, Packets],
+        service_pkts: Mapping[Link, Packets],
+    ) -> None:
+        """Advance every virtual queue one slot (per-key Eq. 28 loops)."""
+        for link, queue in self._queues.items():
+            queue.step(arrivals_pkts.get(link, 0.0), service_pkts.get(link, 0.0))

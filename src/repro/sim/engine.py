@@ -13,7 +13,7 @@ per-slot LP of the lower bound), or pass any object with a
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, Union
+from typing import Callable, Optional, Protocol, Type, Union
 
 from repro.config.parameters import ScenarioParameters
 from repro.contracts import ContractChecker, Strictness
@@ -67,13 +67,19 @@ class SlotSimulator:
         controller_factory: ControllerFactory,
         enforce_complementarity: bool = True,
         contracts: ContractsArg = None,
+        state_cls: Type[NetworkState] = NetworkState,
     ) -> None:
         self.params = params
         self.rng = RngStreams(params.seed, params.seed_spawn_key)
         self.model = build_network_model(params, self.rng.topology)
         self.constants = compute_constants(self.model)
-        self.state = NetworkState(self.model, self.constants, self.rng.environment)
+        self.state = state_cls(self.model, self.constants, self.rng.environment)
         self.controller = controller_factory(self.model, self.constants, self.rng)
+        # Frozen once: the destination map never changes over a run, so
+        # per-slot delivery accounting must not rebuild it (satellite
+        # fix — this used to cost a dict build per slot).
+        self._session_destinations = self.model.session_destinations()
+        self._session_ids = tuple(self._session_destinations)
         self._enforce_complementarity = enforce_complementarity
         self.contracts = _coerce_contracts(contracts)
         attach = getattr(self.controller, "attach_contracts", None)
@@ -93,6 +99,7 @@ class SlotSimulator:
         energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
         router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
         contracts: ContractsArg = None,
+        state_cls: Type[NetworkState] = NetworkState,
     ) -> "SlotSimulator":
         """The paper's decomposition controller (Section IV-C)."""
 
@@ -108,7 +115,7 @@ class SlotSimulator:
                 router_mode=router_mode,
             )
 
-        return cls(params, factory, contracts=contracts)
+        return cls(params, factory, contracts=contracts, state_cls=state_cls)
 
     @classmethod
     def relaxed(
@@ -116,6 +123,7 @@ class SlotSimulator:
         params: ScenarioParameters,
         num_cost_segments: int = 24,
         contracts: ContractsArg = None,
+        state_cls: Type[NetworkState] = NetworkState,
     ) -> "SlotSimulator":
         """The exact relaxed-LP controller of the Theorem-5 bound."""
 
@@ -132,6 +140,7 @@ class SlotSimulator:
             factory,
             enforce_complementarity=False,
             contracts=contracts,
+            state_cls=state_cls,
         )
 
     # -- running -------------------------------------------------------------
@@ -144,11 +153,11 @@ class SlotSimulator:
         scheduled rates; in packet-accurate mode phantom deliveries
         (rates exceeding the transmitter's real backlog) are excluded.
         """
-        destinations = self.model.session_destinations()
+        destinations = self._session_destinations
         effective = self.state.data_queues.effective_rates(
             decision.routing.rates
         )
-        delivered = {sid: 0.0 for sid in destinations}
+        delivered = dict.fromkeys(self._session_ids, 0.0)
         for (tx, rx, sid), rate in effective.items():
             if rx == destinations[sid]:
                 delivered[sid] += rate

@@ -1,0 +1,291 @@
+"""Object-path vs array-path equivalence suite (PR 5 tentpole guard).
+
+``NetworkState`` runs the vectorized struct-of-arrays hot path;
+``ReferenceNetworkState`` rebuilds the historical dict-of-objects banks
+from :mod:`repro.queueing.reference`.  The two must produce *bit
+identical* trajectories — same :class:`BacklogSnapshot` stream, same
+cost/penalty series, same RNG consumption — across every queue
+semantics, dynamic spectrum availability, and random-waypoint mobility.
+
+The suite also unit-tests the array core itself: :func:`seq_sum`
+bit-identity against Python ``sum``, the mapping adapters, the
+vectorized battery kernel's validation messages, and the shared
+battery-level storage binding.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import small_scenario, tiny_scenario
+from repro.core.arraystate import (
+    ArrayState,
+    LinkArrayMapping,
+    NodeArrayMapping,
+    QueueArrayMapping,
+    seq_sum,
+)
+from repro.energy.battery import Battery, BatteryAction
+from repro.exceptions import EnergyError
+from repro.queueing.energy_queue import ShiftedEnergyQueue
+from repro.sim.engine import SlotSimulator
+from repro.state import NetworkState, ReferenceNetworkState
+from repro.types import MobilityKind, QueueSemantics
+
+
+def _dynamic_spectrum(params):
+    spectrum = dataclasses.replace(params.spectrum, dynamic_availability=True)
+    return dataclasses.replace(params, spectrum=spectrum)
+
+
+SCENARIOS = {
+    "tiny_paper": tiny_scenario(num_slots=8),
+    "tiny_packet_accurate": tiny_scenario(
+        num_slots=8, queue_semantics=QueueSemantics.PACKET_ACCURATE
+    ),
+    "tiny_dynamic_spectrum": _dynamic_spectrum(tiny_scenario(num_slots=8)),
+    "tiny_random_waypoint": tiny_scenario(
+        num_slots=8, mobility=MobilityKind.RANDOM_WAYPOINT
+    ),
+    "small_multi_session": small_scenario(num_slots=10),
+}
+
+
+def _run(params, state_cls):
+    simulator = SlotSimulator.integral(params, state_cls=state_cls)
+    result = simulator.run()
+    return simulator, result
+
+
+class TestTrajectoryEquivalence:
+    """Array path == object path, exactly, on full simulations."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_snapshot_streams_identical(self, name):
+        params = SCENARIOS[name]
+        _, array_result = _run(params, NetworkState)
+        _, object_result = _run(params, ReferenceNetworkState)
+
+        assert len(array_result.metrics.slots) == len(object_result.metrics.slots)
+        for array_slot, object_slot in zip(
+            array_result.metrics.slots, object_result.metrics.slots
+        ):
+            # Frozen dataclass equality: every aggregate, bit for bit.
+            assert array_slot.snapshot == object_slot.snapshot
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_cost_and_penalty_series_identical(self, name):
+        params = SCENARIOS[name]
+        _, array_result = _run(params, NetworkState)
+        _, object_result = _run(params, ReferenceNetworkState)
+
+        for field in ("cost", "penalty", "grid_draw_j", "admitted_pkts",
+                      "delivered_pkts", "deficit_j", "spill_j"):
+            array_series = [
+                getattr(m, field) for m in array_result.metrics.slots
+            ]
+            object_series = [
+                getattr(m, field) for m in object_result.metrics.slots
+            ]
+            assert array_series == object_series, field
+
+    def test_final_backlogs_identical(self):
+        params = tiny_scenario(num_slots=8)
+        array_sim, _ = _run(params, NetworkState)
+        object_sim, _ = _run(params, ReferenceNetworkState)
+
+        assert (
+            array_sim.state.data_queues.snapshot()
+            == object_sim.state.data_queues.snapshot()
+        )
+        assert (
+            array_sim.state.virtual_queues.snapshot()
+            == object_sim.state.virtual_queues.snapshot()
+        )
+        assert dict(array_sim.state.battery_levels()) == dict(
+            object_sim.state.battery_levels()
+        )
+        assert dict(array_sim.state.z_values()) == dict(
+            object_sim.state.z_values()
+        )
+        assert dict(array_sim.state.h_backlogs()) == dict(
+            object_sim.state.h_backlogs()
+        )
+
+    def test_state_classes_expose_expected_backends(self):
+        params = tiny_scenario(num_slots=1)
+        array_sim, _ = _run(params, NetworkState)
+        object_sim, _ = _run(params, ReferenceNetworkState)
+        assert array_sim.state.arrays is not None
+        assert object_sim.state.arrays is None
+
+
+class TestSeqSum:
+    def test_matches_python_sum_bitwise(self):
+        rng = np.random.default_rng(11)
+        for size in (0, 1, 2, 7, 64, 1001):
+            values = rng.normal(scale=1e6, size=size) ** 3
+            assert seq_sum(values) == sum(float(v) for v in values)
+
+    def test_two_dimensional_ravel_order(self):
+        values = np.arange(12, dtype=float).reshape(3, 4) / 7.0
+        assert seq_sum(values) == sum(float(v) for v in values.ravel())
+
+    def test_empty(self):
+        assert seq_sum(np.zeros(0)) == 0.0
+
+
+class TestAdapters:
+    def test_node_mapping_behaves_like_dict(self):
+        values = np.array([1.5, 0.0, 2.25])
+        mapping = NodeArrayMapping(values)
+        assert dict(mapping) == {0: 1.5, 1: 0.0, 2: 2.25}
+        assert mapping[2] == 2.25
+        assert isinstance(mapping[2], float)
+        assert len(mapping) == 3
+        assert mapping.get(5) is None
+        with pytest.raises(KeyError):
+            mapping[3]
+        with pytest.raises(KeyError):
+            mapping[-1]
+
+    def test_node_mapping_bool_dtype(self):
+        mapping = NodeArrayMapping(np.array([True, False]))
+        assert mapping[0] is True
+        assert mapping[1] is False
+
+    def test_link_mapping_behaves_like_dict(self):
+        links = ((0, 1), (1, 0), (1, 2))
+        positions = {link: p for p, link in enumerate(links)}
+        values = np.array([3.0, 0.5, 9.0])
+        mapping = LinkArrayMapping(values, links, positions)
+        assert dict(mapping) == {(0, 1): 3.0, (1, 0): 0.5, (1, 2): 9.0}
+        assert mapping[(1, 2)] == 9.0
+        assert mapping.links is links
+        assert mapping.values_array is values
+        with pytest.raises(KeyError):
+            mapping[(2, 0)]
+
+    def test_queue_mapping_mutable_with_frozen_keys(self):
+        values = np.array([[4.0, 0.0], [0.0, 6.0]])
+        keys = ((0, "s0"), (1, "s1"))
+        positions = {(0, "s0"): (0, 0), (1, "s1"): (1, 1)}
+        mapping = QueueArrayMapping(values, keys, positions)
+        assert dict(mapping) == {(0, "s0"): 4.0, (1, "s1"): 6.0}
+        mapping[(0, "s0")] = 7.5
+        assert values[0, 0] == 7.5
+        with pytest.raises(KeyError):
+            mapping[(9, "s0")]
+        with pytest.raises(KeyError):
+            mapping[(9, "s0")] = 1.0
+        with pytest.raises(TypeError):
+            del mapping[(0, "s0")]
+
+
+class TestBatteryKernel:
+    """The vectorized kernel mirrors Battery/BatteryAction semantics."""
+
+    @pytest.fixture
+    def arrays(self):
+        simulator = SlotSimulator.integral(tiny_scenario(num_slots=1))
+        return simulator.state.arrays
+
+    def _scalar_battery(self, arrays, node):
+        return Battery(
+            capacity_j=float(arrays.capacity_j[node]),
+            charge_cap_j=float(arrays.charge_cap_j[node]),
+            discharge_cap_j=float(arrays.discharge_cap_j[node]),
+            initial_level_j=float(arrays.battery_level[node]),
+            charge_efficiency=float(arrays.charge_efficiency[node]),
+            discharge_efficiency=float(arrays.discharge_efficiency[node]),
+        )
+
+    def test_matches_scalar_apply(self, arrays: ArrayState):
+        n = arrays.num_nodes
+        rng = np.random.default_rng(5)
+        charge = np.where(
+            rng.random(n) < 0.5, rng.random(n) * arrays.charge_cap_j * 0.5, 0.0
+        )
+        discharge = np.where(charge > 0, 0.0, 0.0)  # start empty: no discharge
+        scalars = [self._scalar_battery(arrays, node) for node in range(n)]
+        arrays.apply_battery_actions(charge, discharge)
+        for node, battery in enumerate(scalars):
+            battery.apply(
+                BatteryAction(
+                    charge_j=float(charge[node]),
+                    discharge_j=float(discharge[node]),
+                )
+            )
+            assert arrays.battery_level[node] == battery.level_j
+
+    def test_rejects_simultaneous_charge_discharge(self, arrays: ArrayState):
+        charge = np.zeros(arrays.num_nodes)
+        discharge = np.zeros(arrays.num_nodes)
+        arrays.battery_level[0] = min(1.0, float(arrays.capacity_j[0]))
+        charge[0] = 1e-3
+        discharge[0] = 1e-3
+        with pytest.raises(EnergyError, match=r"constraint \(9\) violated"):
+            arrays.apply_battery_actions(charge, discharge)
+
+    def test_rejects_over_charge(self, arrays: ArrayState):
+        charge = np.zeros(arrays.num_nodes)
+        charge[0] = float(arrays.charge_cap_j[0]) * 2.0 + 1.0
+        with pytest.raises(EnergyError, match=r"constraint \(11\) violated"):
+            arrays.apply_battery_actions(charge, np.zeros(arrays.num_nodes))
+
+    def test_rejects_over_discharge(self, arrays: ArrayState):
+        discharge = np.zeros(arrays.num_nodes)
+        discharge[0] = float(arrays.battery_level[0]) + 1.0
+        with pytest.raises(EnergyError, match=r"constraint \(12\) violated"):
+            arrays.apply_battery_actions(np.zeros(arrays.num_nodes), discharge)
+
+    def test_rejects_negative_actions(self, arrays: ArrayState):
+        bad = np.zeros(arrays.num_nodes)
+        bad[0] = -1.0
+        with pytest.raises(EnergyError, match="negative charge"):
+            arrays.apply_battery_actions(bad, np.zeros(arrays.num_nodes))
+        with pytest.raises(EnergyError, match="negative discharge"):
+            arrays.apply_battery_actions(np.zeros(arrays.num_nodes), bad)
+
+
+class TestSharedStorage:
+    def test_battery_binds_into_shared_buffer(self):
+        battery = Battery(
+            capacity_j=100.0,
+            charge_cap_j=10.0,
+            discharge_cap_j=10.0,
+            initial_level_j=42.0,
+        )
+        buffer = np.zeros(3)
+        battery.bind_storage(buffer, 1)
+        assert buffer[1] == 42.0
+        battery.apply(BatteryAction(charge_j=5.0))
+        assert buffer[1] == 47.0
+        buffer[1] = 12.0
+        assert battery.level_j == 12.0
+
+    def test_energy_queue_shares_battery_slot(self):
+        queue = ShiftedEnergyQueue(
+            node=0,
+            control_v=1e3,
+            gamma_max=0.01,
+            discharge_cap_j=5.0,
+            initial_level_j=7.0,
+        )
+        buffer = np.zeros(2)
+        queue.bind_storage(buffer, 0)
+        assert buffer[0] == 7.0
+        buffer[0] = 9.0
+        assert queue.level_j == 9.0
+        assert queue.z == 9.0 - queue.shift_j
+
+    def test_simulator_state_shares_levels(self):
+        simulator = SlotSimulator.integral(tiny_scenario(num_slots=1))
+        state = simulator.state
+        arrays = state.arrays
+        assert arrays is not None
+        node = next(iter(state.batteries))
+        arrays.battery_level[node] = 3.125
+        assert state.batteries[node].level_j == 3.125
+        assert state.energy_queues[node].level_j == 3.125

@@ -1,4 +1,4 @@
-"""Tests for the project lint suite (``repro.lint``, rules R001-R005).
+"""Tests for the project lint suite (``repro.lint``, rules R001-R006).
 
 Each rule is exercised on seeded source snippets in both its firing
 and its non-firing configuration (library vs. test context, noqa
@@ -176,6 +176,115 @@ class TestR005EquationCitations:
         src = '"""No citations here."""\n'
         assert rule_ids(src, Path("src/repro/control/__init__.py")) == set()
         assert rule_ids(src, Path("src/repro/energy/battery.py")) == set()
+
+
+class TestR006HotPathDictLoops:
+    QUEUEING = Path("src/repro/queueing/example.py")
+    STATE = Path("src/repro/state.py")
+    ROUTER = Path("src/repro/control/router.py")
+
+    LOOP = """\
+    class Bank:
+        def _step(self):
+            for key, queue in self._queues.items():
+                queue.step(key)
+    """
+
+    def test_state_container_loop_flagged(self):
+        assert rule_ids(self.LOOP, self.QUEUEING) == {"R006"}
+
+    def test_comprehension_flagged(self):
+        src = """\
+        class Bank:
+            def _snapshot(self):
+                return {k: q.backlog for k, q in self._queues.items()}
+        """
+        assert rule_ids(src, self.QUEUEING) == {"R006"}
+
+    def test_values_and_keys_flagged(self):
+        src = """\
+        class Bank:
+            def _total(self):
+                return sum(q.backlog for q in self._queues.values())
+
+            def _names(self):
+                return [k for k in self._queues.keys()]
+        """
+        found = findings(src, self.QUEUEING)
+        assert [f.rule_id for f in found] == ["R006", "R006"]
+
+    def test_bare_name_receiver_exempt(self):
+        src = """\
+        class Bank:
+            def _step(self, transfer):
+                for key, rate in transfer.items():
+                    self._apply(key, rate)
+        """
+        assert rule_ids(src, self.QUEUEING) == set()
+
+    def test_cold_path_docstring_exempts_function(self):
+        src = '''\
+        class Bank:
+            def _build(self):
+                """Cold path: runs once, before the slot loop."""
+                for key, queue in self._queues.items():
+                    queue.reset(key)
+        '''
+        assert rule_ids(src, self.QUEUEING) == set()
+
+    def test_cold_path_exemption_covers_nested_scopes(self):
+        src = '''\
+        class Bank:
+            def _build(self):
+                """cold path constructor"""
+                def inner():
+                    return list(self._queues.items())
+                return [k for k, _ in self._queues.items()]
+        '''
+        assert rule_ids(src, self.QUEUEING) == set()
+
+    def test_module_exempt_marker(self):
+        src = '"""Reference banks, R006-exempt."""\n' + textwrap.dedent(self.LOOP)
+        assert rule_ids(src, self.QUEUEING) == set()
+
+    def test_noqa_suppression(self):
+        src = """\
+        class Bank:
+            def _step(self):
+                for key, queue in self._queues.items():  # noqa: R006 - justified
+                    queue.step(key)
+        """
+        assert rule_ids(src, self.QUEUEING) == set()
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            Path("src/repro/state.py"),
+            Path("src/repro/control/router.py"),
+            Path("src/repro/control/scheduler.py"),
+            Path("src/repro/queueing/data_queue.py"),
+        ],
+    )
+    def test_hot_path_modules_in_scope(self, path):
+        src = self.LOOP
+        if path.parent.name == "control":
+            src = '"""Implements Eq. 15."""\n' + textwrap.dedent(src)
+        assert "R006" in rule_ids(src, path)
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            Path("src/repro/energy/battery.py"),
+            Path("src/repro/control/controller.py"),
+            Path("src/repro/sim/engine.py"),
+            Path("tests/test_example.py"),
+        ],
+    )
+    def test_out_of_scope_modules_exempt(self, path):
+        src = self.LOOP
+        if path.parent.name == "control":
+            src = '"""Implements Eq. 15."""\n' + textwrap.dedent(src)
+        assert "R006" not in rule_ids(src, path)
 
 
 class TestCli:
