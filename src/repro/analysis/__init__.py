@@ -2,8 +2,12 @@
 
 Two families share this package: numerical result analysis (time
 averages, tables, bound-gap convergence, replication) and the static
-units/equations analysis behind ``python -m repro.analysis``
-(:mod:`repro.analysis.dataflow`, :mod:`repro.analysis.equations`).
+analyzers behind ``python -m repro.analysis`` — the units dataflow
+pass (:mod:`repro.analysis.dataflow`), the array axis/shape dataflow
+pass (:mod:`repro.analysis.arrayflow`), the determinism rules
+(:mod:`repro.analysis.determinism`) and the equation coverage audit
+(:mod:`repro.analysis.equations`).  The unified rule catalogue lives
+in :mod:`repro.analysis.registry`.
 """
 
 from repro.analysis.aggregate import (
@@ -25,6 +29,14 @@ from repro.analysis.replication import (
 )
 from repro.analysis.report import build_report
 from repro.analysis.dataflow import ANALYSIS_RULES, UnitDataflowRule
+from repro.analysis.arrayflow import ARRAY_RULES, ArrayDataflowRule
+from repro.analysis.determinism import (
+    DETERMINISM_RULES,
+    GlobalRngRule,
+    SetIterationRule,
+    WallclockRule,
+)
+from repro.analysis.registry import ALL_RULE_IDS, RULE_REGISTRY
 from repro.analysis.equations import (
     EquationEntry,
     audit_equations,
@@ -35,6 +47,14 @@ from repro.analysis.unitlattice import Elem, join, meet, unit_elem
 __all__ = [
     "ANALYSIS_RULES",
     "UnitDataflowRule",
+    "ARRAY_RULES",
+    "ArrayDataflowRule",
+    "DETERMINISM_RULES",
+    "GlobalRngRule",
+    "SetIterationRule",
+    "WallclockRule",
+    "ALL_RULE_IDS",
+    "RULE_REGISTRY",
     "EquationEntry",
     "audit_equations",
     "load_manifest",

@@ -1,0 +1,1117 @@
+"""Intraprocedural array axis/shape dataflow analysis (rules R020-R023).
+
+The companion pass to :mod:`repro.analysis.dataflow`: where that pass
+tracks physical units through scalar arithmetic, this one tracks the
+*named axes* of numpy arrays (see :mod:`repro.axes`) through the
+vectorized hot path and flags:
+
+* **R020** — broadcasting two arrays whose declared axes are
+  incompatible (``(L, M)`` combined with ``(M, L)`` — the silent
+  transpose), including argument passing, returns and annotated
+  assignments;
+* **R021** — reducing (``sum``/``max``/``any``/...) over an axis that
+  is out of range for the operand's declared rank;
+* **R022** — a bare ``np.ndarray`` parameter in a hot-path module,
+  where every array signature must name its axes;
+* **R023** — frozen-index violations: subscripting an array with an
+  index array whose *values* belong to a different axis (``g[link_tx]``
+  reads the link-axis ``G`` backlog with node ids).
+
+Axis facts enter only through annotations — ``repro.axes`` aliases on
+parameters, returns, class attributes and ``x: LinkBandMat = ...``
+assignments — plus the class table for the struct-of-arrays core
+(``ArrayState`` and its mapping adapters are reflected at import time,
+so their attribute reads resolve in every module).  ``None`` indexing
+inserts the broadcast axis ``"1"``, ``.T`` reverses axes, reductions
+consume them.  Everything unproven is ``UNKNOWN`` and reported on
+never: like the units pass, the analyzer is conservative and one
+mismatch degrades its result to ``UNKNOWN`` so one bug yields one
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.shapelattice import (
+    BROADCAST_AXIS,
+    SCALAR,
+    UNKNOWN,
+    Elem,
+    array_elem,
+    broadcast,
+    broadcast_axes,
+    instance_elem,
+    join,
+    reduce_axes,
+    transpose,
+)
+from repro.axes import ALIAS_AXES, ALIAS_INDEX, ANY_AXIS, Axes, IndexInto
+from repro.lint.rules import FileContext, Finding, Rule, _numpy_aliases
+
+#: A callable signature: positional parameter names with their axis
+#: elements (None = unconstrained) and the return element.
+Signature = Tuple[Tuple[Tuple[str, Optional[Elem]], ...], Optional[Elem]]
+
+
+def _alias_elem(name: str) -> Optional[Elem]:
+    axes = ALIAS_AXES.get(name)
+    if axes is None:
+        return None
+    index = ALIAS_INDEX.get(name)
+    return array_elem(axes.names, index.axis if index else None)
+
+
+#: Modules whose array parameters must name their axes (rule R022):
+#: the struct-of-arrays core and everything that loops over it per
+#: slot.  Matched against the posix display path suffix.
+HOT_PATH_SUFFIXES: Tuple[str, ...] = (
+    "core/arraystate.py",
+    "control/router.py",
+    "control/scheduler.py",
+    "solvers/sequential_fix.py",
+)
+HOT_PATH_DIRS: Tuple[str, ...] = ("repro/queueing/",)
+
+
+def is_hot_path(display_path: str) -> bool:
+    path = display_path.replace("\\", "/")
+    if any(path.endswith(suffix) for suffix in HOT_PATH_SUFFIXES):
+        return True
+    return any(part in path for part in HOT_PATH_DIRS)
+
+
+@dataclass
+class ClassSpec:
+    """Axis facts about one annotated class.
+
+    ``attrs`` maps attribute/property names to their elements;
+    ``fields`` preserves declaration order for positional constructor
+    calls; ``methods`` holds annotated method signatures (``self``
+    stripped).
+    """
+
+    attrs: Dict[str, Elem] = field(default_factory=dict)
+    fields: List[str] = field(default_factory=list)
+    methods: Dict[str, Signature] = field(default_factory=dict)
+
+
+def _elem_from_hint(hint: object) -> Optional[Elem]:
+    """Extract an axis element from a runtime ``Annotated`` hint."""
+    metadata = getattr(hint, "__metadata__", None)
+    if not metadata:
+        return None
+    axes: Optional[Axes] = None
+    index: Optional[IndexInto] = None
+    for item in metadata:
+        if isinstance(item, Axes):
+            axes = item
+        elif isinstance(item, IndexInto):
+            index = item
+    if axes is None:
+        return None
+    return array_elem(axes.names, index.axis if index else None)
+
+
+def _reflect_class(cls: type) -> ClassSpec:
+    """Build a :class:`ClassSpec` from a runtime class's annotations."""
+    spec = ClassSpec()
+    try:
+        hints = typing.get_type_hints(cls, include_extras=True)
+    except Exception:  # unresolvable forward refs: partial table
+        hints = {}
+    for name, hint in hints.items():
+        spec.fields.append(name)
+        elem = _elem_from_hint(hint)
+        if elem is not None:
+            spec.attrs[name] = elem
+    for name in dir(cls):
+        member = getattr(cls, name, None)
+        func = None
+        is_property = isinstance(member, property)
+        if is_property:
+            func = member.fget
+        elif callable(member) and not name.startswith("__"):
+            func = member
+        if func is None:
+            continue
+        try:
+            func_hints = typing.get_type_hints(func, include_extras=True)
+        except Exception:
+            continue
+        ret = _elem_from_hint(func_hints.get("return"))
+        if is_property:
+            if ret is not None:
+                spec.attrs[name] = ret
+        else:
+            code = getattr(func, "__code__", None)
+            if code is None:
+                continue
+            params = [a for a in code.co_varnames[: code.co_argcount] if a != "self"]
+            sig = tuple(
+                (p, _elem_from_hint(func_hints.get(p))) for p in params
+            )
+            if ret is not None or any(e is not None for _, e in sig):
+                spec.methods[name] = (sig, ret)
+    return spec
+
+
+def _builtin_class_table() -> Dict[str, ClassSpec]:
+    """Reflect the struct-of-arrays core so every module resolves it."""
+    from repro.core import arraystate
+
+    table: Dict[str, ClassSpec] = {}
+    for name in (
+        "ArrayState",
+        "NodeArrayMapping",
+        "LinkArrayMapping",
+        "QueueArrayMapping",
+    ):
+        cls = getattr(arraystate, name, None)
+        if isinstance(cls, type):
+            table[name] = _reflect_class(cls)
+    return table
+
+
+_BUILTIN_CLASSES: Optional[Dict[str, ClassSpec]] = None
+
+
+def builtin_classes() -> Dict[str, ClassSpec]:
+    global _BUILTIN_CLASSES
+    if _BUILTIN_CLASSES is None:
+        _BUILTIN_CLASSES = _builtin_class_table()
+    return _BUILTIN_CLASSES
+
+
+#: numpy reductions accepting ``axis=`` (function and method forms).
+_REDUCTIONS = frozenset(
+    {
+        "sum", "prod", "min", "max", "amin", "amax", "mean", "median",
+        "std", "var", "any", "all", "argmax", "argmin", "nansum",
+        "nanmin", "nanmax", "nanmean", "count_nonzero",
+    }
+)
+#: numpy binary ufuncs: broadcast their first two arguments.
+_BINARY_UFUNCS = frozenset(
+    {
+        "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "minimum", "maximum", "fmin", "fmax", "power",
+        "hypot", "logical_and", "logical_or", "logical_xor", "greater",
+        "greater_equal", "less", "less_equal", "equal", "not_equal",
+        "arctan2", "mod", "remainder",
+    }
+)
+#: numpy unary functions preserving shape (index tag dropped).
+_SHAPE_PRESERVING = frozenset(
+    {
+        "abs", "absolute", "sqrt", "exp", "log", "log2", "log10",
+        "negative", "floor", "ceil", "rint", "sign", "square",
+        "isfinite", "isnan", "isinf", "logical_not", "nan_to_num",
+        "clip",
+    }
+)
+#: numpy functions preserving shape *and* values (index tag kept).
+_VALUE_PRESERVING = frozenset({"asarray", "ascontiguousarray", "copy"})
+#: ``*_like`` constructors: shape of the prototype, fresh values.
+_LIKE_CONSTRUCTORS = frozenset(
+    {"zeros_like", "ones_like", "empty_like", "full_like"}
+)
+#: Array methods preserving shape.
+_PRESERVING_METHODS = frozenset({"copy", "astype", "clip", "round"})
+#: Python builtins that provably return scalars.
+_SCALAR_BUILTINS = frozenset({"len", "int", "float", "bool", "round"})
+
+
+class AxesEnv(Dict[str, Elem]):
+    """Variable name -> lattice element, with a branch-join helper."""
+
+    def copy(self) -> "AxesEnv":
+        return AxesEnv(self)
+
+    @staticmethod
+    def joined(a: "AxesEnv", b: "AxesEnv") -> "AxesEnv":
+        merged = AxesEnv()
+        for name in set(a) | set(b):
+            merged[name] = join(a.get(name, UNKNOWN), b.get(name, UNKNOWN))
+        return merged
+
+
+class _AxesModuleIndex:
+    """Per-module context: alias imports, class table, signatures."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.alias_names: Dict[str, Elem] = {}
+        self.module_aliases: List[str] = []
+        numpy_modules, _ = _numpy_aliases(tree)
+        self.numpy_names = {
+            alias
+            for alias, target in numpy_modules.items()
+            if target == "numpy"
+        }
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "repro.axes":
+                    for alias in node.names:
+                        elem = _alias_elem(alias.name)
+                        if elem is not None:
+                            self.alias_names[alias.asname or alias.name] = elem
+                elif node.module == "repro" and any(
+                    a.name == "axes" for a in node.names
+                ):
+                    for alias in node.names:
+                        if alias.name == "axes":
+                            self.module_aliases.append(alias.asname or "axes")
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.axes":
+                        self.module_aliases.append(alias.asname or "repro.axes")
+
+        self.classes: Dict[str, ClassSpec] = {}
+        assert isinstance(tree, ast.Module)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes[node.name] = self._class_spec(node)
+
+        # Module-level numeric constants are provable scalars.
+        self.scalar_names: Dict[str, Elem] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Constant
+            ):
+                if isinstance(node.value.value, bool) or not isinstance(
+                    node.value.value, (int, float)
+                ):
+                    continue
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.scalar_names[target.id] = SCALAR
+
+        self.signatures: Dict[str, Optional[Signature]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                sig = self._signature_of(node)
+                if (
+                    node.name in self.signatures
+                    and self.signatures[node.name] != sig
+                ):
+                    self.signatures[node.name] = None
+                else:
+                    self.signatures[node.name] = sig
+
+    # -- annotation resolution ----------------------------------------
+
+    def annotation_elem(self, node: Optional[ast.expr]) -> Optional[Elem]:
+        """The axis element named by an annotation expression, if any."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self._named_elem(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            if node.value.id in self.module_aliases or node.value.id == "axes":
+                return _alias_elem(node.attr)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Stringified annotation: resolve a bare alias/class name.
+            return self._named_elem(node.value.strip())
+        return None
+
+    def _named_elem(self, name: str) -> Optional[Elem]:
+        elem = self.alias_names.get(name)
+        if elem is not None:
+            return elem
+        if name in self.classes or name in builtin_classes():
+            return instance_elem(name)
+        # Alias used without an in-file import (conftest fixtures,
+        # doctest snippets): fall back to the global vocabulary.
+        return _alias_elem(name)
+
+    def is_bare_ndarray(self, node: Optional[ast.expr]) -> bool:
+        """True for an annotation that is exactly ``np.ndarray``."""
+        if node is None:
+            return False
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            return (
+                node.value.id in self.numpy_names and node.attr == "ndarray"
+            )
+        if isinstance(node, ast.Name):
+            return node.id == "ndarray"
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value.strip()
+            return text in ("np.ndarray", "numpy.ndarray", "ndarray")
+        return False
+
+    def class_spec(self, name: Optional[str]) -> Optional[ClassSpec]:
+        if name is None:
+            return None
+        spec = self.classes.get(name)
+        if spec is not None:
+            return spec
+        return builtin_classes().get(name)
+
+    # -- collection ----------------------------------------------------
+
+    def _class_spec(self, node: ast.ClassDef) -> ClassSpec:
+        spec = ClassSpec()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                spec.fields.append(stmt.target.id)
+                elem = self.annotation_elem(stmt.annotation)
+                if elem is not None:
+                    spec.attrs[stmt.target.id] = elem
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_property = any(
+                    isinstance(dec, ast.Name) and dec.id == "property"
+                    for dec in stmt.decorator_list
+                )
+                if is_property:
+                    ret = self.annotation_elem(stmt.returns)
+                    if ret is not None:
+                        spec.attrs[stmt.name] = ret
+                else:
+                    spec.methods[stmt.name] = self._signature_of(stmt)
+        return spec
+
+    def _signature_of(self, node: ast.AST) -> Signature:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        params = tuple(
+            (a.arg, self.annotation_elem(a.annotation))
+            for a in positional + list(args.kwonlyargs)
+        )
+        return params, self.annotation_elem(node.returns)
+
+
+class _ArrayFunctionAnalysis:
+    """One forward axis-dataflow pass over a single function body."""
+
+    def __init__(
+        self,
+        ctx: FileContext,
+        index: _AxesModuleIndex,
+        func: ast.AST,
+        emit: Callable[[Finding], None],
+        self_class: Optional[str] = None,
+    ) -> None:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        self._ctx = ctx
+        self._index = index
+        self._func = func
+        self._emit = emit
+        self._self_class = self_class
+        self._return_elem = index.annotation_elem(func.returns)
+
+    def run(self) -> None:
+        env = AxesEnv()
+        env.update(self._index.scalar_names)
+        args = self._func.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if (
+            self._self_class is not None
+            and positional
+            and positional[0].arg == "self"
+        ):
+            env["self"] = instance_elem(self._self_class)
+        for arg in positional + list(args.kwonlyargs):
+            elem = self._index.annotation_elem(arg.annotation)
+            if elem is not None:
+                env[arg.arg] = elem
+        self._walk_body(self._func.body, env)
+
+    # -- statements ----------------------------------------------------
+
+    def _walk_body(self, body: Sequence[ast.stmt], env: AxesEnv) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, env)
+
+    def _walk_stmt(self, stmt: ast.stmt, env: AxesEnv) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = self._index.annotation_elem(stmt.annotation)
+            inferred = (
+                self._eval(stmt.value, env)
+                if stmt.value is not None
+                else UNKNOWN
+            )
+            if (
+                declared is not None
+                and declared.is_array
+                and not declared.is_any_shape
+                and inferred.is_array
+                and not inferred.is_any_shape
+                and broadcast_axes(declared.axes, inferred.axes) is None
+            ):
+                self._report_pair(stmt, inferred, declared, "assigned to")
+            elem = declared if declared is not None else inferred
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = elem
+            elif isinstance(stmt.target, ast.Subscript):
+                self._eval(stmt.target, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                left = env.get(stmt.target.id, UNKNOWN)
+                env[stmt.target.id] = self._combine(stmt, left, value)
+            else:
+                # ``self.battery_level += ...`` / ``q[ids] += ...``:
+                # check the broadcast without rebinding.
+                left = self._eval(stmt.target, env)
+                self._combine(stmt, left, value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+                declared = self._return_elem
+                if (
+                    declared is not None
+                    and declared.is_array
+                    and not declared.is_any_shape
+                    and value.is_array
+                    and not value.is_any_shape
+                    and broadcast_axes(declared.axes, value.axes) is None
+                ):
+                    self._report_pair(stmt, value, declared, "returned as")
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env, else_env = env.copy(), env.copy()
+            self._walk_body(stmt.body, then_env)
+            self._walk_body(stmt.orelse, else_env)
+            merged = AxesEnv.joined(then_env, else_env)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env)
+            loop_env = env.copy()
+            if isinstance(stmt.target, ast.Name):
+                loop_env[stmt.target.id] = UNKNOWN
+            self._walk_body(stmt.body, loop_env)
+            self._walk_body(stmt.orelse, loop_env)
+            merged = AxesEnv.joined(env, loop_env)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            loop_env = env.copy()
+            self._walk_body(stmt.body, loop_env)
+            self._walk_body(stmt.orelse, loop_env)
+            merged = AxesEnv.joined(env, loop_env)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+            self._walk_body(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = env.copy()
+            self._walk_body(stmt.body, body_env)
+            merged = body_env
+            for handler in stmt.handlers:
+                handler_env = env.copy()
+                self._walk_body(handler.body, handler_env)
+                merged = AxesEnv.joined(merged, handler_env)
+            self._walk_body(stmt.orelse, merged)
+            self._walk_body(stmt.finalbody, merged)
+            env.clear()
+            env.update(merged)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value_node: ast.expr,
+        value: Elem,
+        env: AxesEnv,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            sources: List[Optional[ast.expr]]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                sources = list(value_node.elts)
+            else:
+                sources = [None] * len(target.elts)
+            for sub_target, sub_source in zip(target.elts, sources):
+                sub_value = (
+                    self._eval(sub_source, env)
+                    if sub_source is not None
+                    else UNKNOWN
+                )
+                self._bind(sub_target, sub_source or value_node, sub_value, env)
+        elif isinstance(target, ast.Subscript):
+            # ``access[node, band] = ...``: run the index checks.
+            self._eval(target, env)
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: AxesEnv) -> Elem:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return UNKNOWN
+            return SCALAR
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, (ast.UAdd, ast.USub, ast.Invert)):
+                result, _ = broadcast(operand, SCALAR)
+                return result
+            return UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            if isinstance(node.op, ast.MatMult):
+                return UNKNOWN
+            return self._combine(node, left, right)
+        if isinstance(node, ast.Compare):
+            if not all(
+                isinstance(
+                    op, (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+                )
+                for op in node.ops
+            ):
+                self._eval(node.left, env)
+                for comparator in node.comparators:
+                    self._eval(comparator, env)
+                return UNKNOWN
+            result = self._eval(node.left, env)
+            for comparator in node.comparators:
+                result = self._combine(node, result, self._eval(comparator, env))
+            return result
+        if isinstance(node, ast.BoolOp):
+            parts = [self._eval(v, env) for v in node.values]
+            result = parts[0]
+            for part in parts[1:]:
+                result = join(result, part)
+            return result
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return join(self._eval(node.body, env), self._eval(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+            return UNKNOWN
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            return UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = value
+            return value
+        return UNKNOWN
+
+    def _eval_attribute(self, node: ast.Attribute, env: AxesEnv) -> Elem:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id in self._index.numpy_names
+        ):
+            if node.attr in ("inf", "nan", "pi", "e", "euler_gamma"):
+                return SCALAR
+            return UNKNOWN
+        base = self._eval(node.value, env)
+        if base.is_array:
+            if node.attr == "T":
+                return transpose(base)
+            if node.attr in ("size", "ndim", "itemsize", "nbytes"):
+                return SCALAR
+            return UNKNOWN
+        if base.is_instance:
+            spec = self._index.class_spec(base.class_name)
+            if spec is not None:
+                return spec.attrs.get(node.attr, UNKNOWN)
+        return UNKNOWN
+
+    def _eval_subscript(self, node: ast.Subscript, env: AxesEnv) -> Elem:
+        base = self._eval(node.value, env)
+        items = (
+            list(node.slice.elts)
+            if isinstance(node.slice, ast.Tuple)
+            else [node.slice]
+        )
+        if not base.is_array or base.is_any_shape:
+            # Still evaluate index expressions for their own findings.
+            for item in items:
+                if not isinstance(item, ast.Slice):
+                    self._eval(item, env)
+            return UNKNOWN
+
+        axes = list(base.axes)
+        out: List[str] = []
+        position = 0
+        exact = True
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is None:
+                out.append(BROADCAST_AXIS)
+                continue
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                return UNKNOWN
+            if position >= len(axes):
+                # Over-indexing; sizes unknown for "?" so stay quiet.
+                return UNKNOWN
+            current = axes[position]
+            if isinstance(item, ast.Slice):
+                self._eval_slice_parts(item, env)
+                out.append(current)
+                position += 1
+                continue
+            if isinstance(item, ast.Constant) and isinstance(item.value, int):
+                position += 1  # integer index consumes the axis
+                continue
+            elem = self._eval(item, env)
+            if elem.is_array and elem.index_into is not None:
+                if (
+                    current != elem.index_into
+                    and current != BROADCAST_AXIS
+                    and elem.index_into != ANY_AXIS
+                    and current != ANY_AXIS
+                ):
+                    self._report(
+                        node,
+                        "R023",
+                        f"array over axes {base.format_axes()} indexed by "
+                        f"{elem.index_into}-valued ids {str(elem)} on axis "
+                        f"{position} ({current!r}): index through the frozen "
+                        f"{current}-order instead",
+                    )
+                    return UNKNOWN
+                if len(items) == 1 and not elem.is_any_shape:
+                    # Pure gather: q[link_tx] -> (L, S).
+                    return array_elem(tuple(elem.axes) + tuple(axes[1:]))
+                exact = False
+                position += 1
+                continue
+            if elem.is_scalar:
+                position += 1  # int variable index consumes the axis
+                continue
+            # Boolean masks / unknown fancy indices: give up on the
+            # result shape but keep walking for nested findings.
+            exact = False
+            position += 1
+        if not exact:
+            return UNKNOWN
+        out.extend(axes[position:])
+        if not out:
+            return SCALAR
+        return array_elem(tuple(out))
+
+    def _eval_slice_parts(self, node: ast.Slice, env: AxesEnv) -> None:
+        for part in (node.lower, node.upper, node.step):
+            if part is not None:
+                self._eval(part, env)
+
+    def _eval_call(self, node: ast.Call, env: AxesEnv) -> Elem:
+        func = node.func
+        args = [self._eval(a, env) for a in node.args]
+        kwargs: Dict[str, Elem] = {}
+        for kw in node.keywords:
+            if kw.arg:
+                kwargs[kw.arg] = self._eval(kw.value, env)
+            else:
+                self._eval(kw.value, env)
+
+        # numpy module functions: np.max(x, axis=1), np.where(...), ...
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._index.numpy_names
+        ):
+            return self._eval_numpy_call(node, func.attr, args, env)
+
+        # Array-method calls: x.sum(axis=0), x.copy(), x.astype(...).
+        if isinstance(func, ast.Attribute):
+            base = self._eval(func.value, env)
+            if base.is_array:
+                if func.attr in _REDUCTIONS:
+                    return self._reduce_call(node, base, node.args, node.keywords, method=True)
+                if func.attr in _PRESERVING_METHODS:
+                    result, _ = broadcast(base, SCALAR)
+                    return result
+                if func.attr == "transpose" and not node.args:
+                    return transpose(base)
+                if func.attr == "reshape" or func.attr == "ravel":
+                    return UNKNOWN
+                if func.attr == "item":
+                    return SCALAR
+                return UNKNOWN
+            if base.is_instance:
+                spec = self._index.class_spec(base.class_name)
+                if spec is not None and func.attr in spec.methods:
+                    return self._apply_signature(
+                        node, func.attr, spec.methods[func.attr], args, kwargs
+                    )
+                return UNKNOWN
+
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name in _SCALAR_BUILTINS and len(args) <= 2:
+            return SCALAR
+        if name == "abs" and len(args) == 1:
+            return args[0]
+
+        if isinstance(func, ast.Name):
+            # Constructor call of a known annotated class.
+            spec = self._index.class_spec(func.id)
+            if spec is not None:
+                init = spec.methods.get("__init__")
+                if init is not None:
+                    self._apply_signature(node, func.id, init, args, kwargs)
+                else:
+                    self._check_constructor(node, func.id, spec, args, kwargs)
+                return instance_elem(func.id)
+            signature = self._index.signatures.get(func.id)
+            if signature is not None:
+                return self._apply_signature(
+                    node, func.id, signature, args, kwargs
+                )
+        return UNKNOWN
+
+    def _eval_numpy_call(
+        self,
+        node: ast.Call,
+        name: str,
+        args: List[Elem],
+        env: AxesEnv,
+    ) -> Elem:
+        if name in _REDUCTIONS:
+            return self._reduce_call(node, args[0] if args else UNKNOWN, node.args[1:], node.keywords, method=False)
+        if name in _BINARY_UFUNCS and len(args) >= 2:
+            return self._combine(node, args[0], args[1])
+        if name == "where" and len(args) == 3:
+            result = self._combine(node, args[0], args[1])
+            return self._combine(node, result, args[2])
+        if name in _SHAPE_PRESERVING and args:
+            result, _ = broadcast(args[0], SCALAR)
+            return result
+        if name in _VALUE_PRESERVING and args:
+            return args[0]
+        if name in _LIKE_CONSTRUCTORS and args:
+            result, _ = broadcast(args[0], SCALAR)
+            return result
+        if name == "transpose" and args:
+            if len(node.args) == 1 and not node.keywords:
+                return transpose(args[0])
+            return UNKNOWN
+        return UNKNOWN
+
+    def _reduce_call(
+        self,
+        node: ast.Call,
+        operand: Elem,
+        extra_args: Sequence[ast.expr],
+        keywords: Sequence[ast.keyword],
+        method: bool,
+    ) -> Elem:
+        axis: Optional[object] = None
+        keepdims = False
+        axis_node: Optional[ast.expr] = None
+        if extra_args:
+            axis_node = extra_args[0]
+        for kw in keywords:
+            if kw.arg == "axis":
+                axis_node = kw.value
+            elif kw.arg == "keepdims" and isinstance(kw.value, ast.Constant):
+                keepdims = bool(kw.value.value)
+        if axis_node is None:
+            result, _ = reduce_axes(operand, None, keepdims)
+            return result
+        if isinstance(axis_node, ast.Constant) and isinstance(
+            axis_node.value, int
+        ):
+            axis = axis_node.value
+        elif isinstance(axis_node, ast.UnaryOp) and isinstance(
+            axis_node.op, ast.USub
+        ):
+            inner = axis_node.operand
+            if isinstance(inner, ast.Constant) and isinstance(inner.value, int):
+                axis = -inner.value
+        if axis is None:
+            return UNKNOWN
+        result, error = reduce_axes(operand, int(axis), keepdims)
+        if error is not None:
+            self._report(node, "R021", error)
+        return result
+
+    def _apply_signature(
+        self,
+        node: ast.Call,
+        name: str,
+        signature: Signature,
+        args: List[Elem],
+        kwargs: Dict[str, Elem],
+    ) -> Elem:
+        params, return_elem = signature
+        for position, elem in enumerate(args):
+            if position < len(params):
+                self._check_argument(
+                    node.args[position], params[position], elem, name
+                )
+        by_name = dict(params)
+        for kw in node.keywords:
+            if kw.arg and kw.arg in by_name and kw.arg in kwargs:
+                self._check_argument(
+                    kw.value, (kw.arg, by_name[kw.arg]), kwargs[kw.arg], name
+                )
+        return return_elem if return_elem is not None else UNKNOWN
+
+    def _check_constructor(
+        self,
+        node: ast.Call,
+        name: str,
+        spec: ClassSpec,
+        args: List[Elem],
+        kwargs: Dict[str, Elem],
+    ) -> None:
+        for position, elem in enumerate(args):
+            if position < len(spec.fields):
+                field_name = spec.fields[position]
+                declared = spec.attrs.get(field_name)
+                if declared is not None:
+                    self._check_argument(
+                        node.args[position],
+                        (field_name, declared),
+                        elem,
+                        name,
+                    )
+        for kw in node.keywords:
+            if kw.arg and kw.arg in spec.attrs and kw.arg in kwargs:
+                self._check_argument(
+                    kw.value, (kw.arg, spec.attrs[kw.arg]), kwargs[kw.arg], name
+                )
+
+    def _check_argument(
+        self,
+        arg_node: ast.expr,
+        param: Tuple[str, Optional[Elem]],
+        elem: Elem,
+        func_name: Optional[str],
+    ) -> None:
+        param_name, expected = param
+        if expected is None or not expected.is_array or expected.is_any_shape:
+            return
+        if not elem.is_array or elem.is_any_shape:
+            return
+        if broadcast_axes(expected.axes, elem.axes) is not None:
+            return
+        self._report(
+            arg_node,
+            "R020",
+            f"argument '{param_name}' of {func_name or '<call>'}() expects "
+            f"axes {expected.format_axes()} but receives "
+            f"{elem.format_axes()}",
+        )
+
+    def _combine(self, node: ast.AST, left: Elem, right: Elem) -> Elem:
+        result, mismatch = broadcast(left, right)
+        if mismatch is not None:
+            a, b = mismatch
+            self._report(
+                node,
+                "R020",
+                f"incompatible broadcast: {a.format_axes()} with "
+                f"{b.format_axes()} (no axis alignment exists; a transposed "
+                f"operand broadcasts silently when runtime sizes coincide)",
+            )
+        return result
+
+    def _report_pair(
+        self, node: ast.AST, got: Elem, expected: Elem, verb: str
+    ) -> None:
+        self._report(
+            node,
+            "R020",
+            f"{got.format_axes()} {verb} {expected.format_axes()}",
+        )
+
+    def _report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        finding = self._ctx.finding(node, rule_id, message)
+        if finding is not None:
+            self._emit(finding)
+
+
+def _walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    """Yield every function with its enclosing class name (if direct)."""
+
+    def visit(nodes: Sequence[ast.stmt], cls: Optional[str]) -> Iterator[
+        Tuple[ast.AST, Optional[str]]
+    ]:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, cls
+                yield from visit(node.body, None)
+            elif isinstance(node, ast.ClassDef):
+                yield from visit(node.body, node.name)
+            elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For, ast.While)):
+                yield from visit(node.body, cls)
+
+    yield from visit(tree.body, None)
+
+
+class ArrayDataflowRule(Rule):
+    """R020-R023, implemented as one axis-dataflow pass per function.
+
+    The four rule ids share this checker because they share the
+    inference; ``--select`` filters the emitted findings by id.
+    """
+
+    rule_id = "R020"
+    title = "array axis/shape dataflow analysis (R020-R023)"
+    explain = """\
+See `python -m repro.analysis --explain R020|R021|R022|R023`.
+"""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        index = _AxesModuleIndex(ctx.tree)
+        assert isinstance(ctx.tree, ast.Module)
+        hot = is_hot_path(ctx.display_path) and not ctx.is_test
+        for func, cls in _walk_functions(ctx.tree):
+            assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if hot:
+                self._check_bare_params(ctx, index, func, findings.append)
+            _ArrayFunctionAnalysis(
+                ctx, index, func, findings.append, self_class=cls
+            ).run()
+        yield from findings
+
+    @staticmethod
+    def _check_bare_params(
+        ctx: FileContext,
+        index: _AxesModuleIndex,
+        func: ast.AST,
+        emit: Callable[[Finding], None],
+    ) -> None:
+        assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+        args = func.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if index.is_bare_ndarray(arg.annotation):
+                finding = ctx.finding(
+                    arg,
+                    "R022",
+                    f"hot-path parameter '{arg.arg}' of {func.name}() is a "
+                    "bare np.ndarray: annotate its axes with a repro.axes "
+                    "alias (NodeVec, LinkBandMat, AnyArray, ...)",
+                )
+                if finding is not None:
+                    emit(finding)
+
+
+# -- catalogue ---------------------------------------------------------
+
+from repro.analysis.dataflow import AnalysisRuleInfo  # noqa: E402
+
+ARRAY_RULES: Dict[str, AnalysisRuleInfo] = {
+    "R020": AnalysisRuleInfo(
+        "R020",
+        "no broadcasting of incompatible named axes",
+        """\
+numpy broadcasting compares sizes, not meanings: a transposed (M, L)
+array combines silently with a (L, M) kernel whenever the runtime
+lengths happen to coincide (4 bands, 4 links), and every downstream
+number is wrong without a single exception.
+
+The analyzer infers axis names from repro.axes annotations (parameters,
+returns, class attributes, `x: LinkBandMat = ...` assignments) and
+flags every arithmetic op, comparison, np.where/ufunc call, argument
+pass, return and annotated assignment whose two sides have known,
+incompatible axes under numpy's right-alignment rule.  The inserted
+axis "1" (None/np.newaxis) broadcasts with anything.
+
+Fix: transpose/realign the operand explicitly, or correct the
+annotation.  Intentional duck-shape tricks carry `# noqa: R020` with a
+justification.
+""",
+    ),
+    "R021": AnalysisRuleInfo(
+        "R021",
+        "no reduction over an out-of-range axis",
+        """\
+`arr.sum(axis=1)` on an array that is declared (L,) does not fail at
+analysis time in numpy until it runs — and in branchy control code the
+bad reduction may only execute on rare slot configurations.  Reducing
+over the wrong *existing* axis is even worse: `member.any(axis=0)`
+instead of axis=1 yields a plausibly-shaped but semantically wrong
+mask.
+
+The analyzer resolves constant `axis=` arguments (function and method
+forms, negative indices, keepdims) against the operand's declared rank
+and flags reductions that are provably out of range.
+
+Fix: reduce over a declared axis; if the array is genuinely
+shape-agnostic, annotate it AnyArray.
+""",
+    ),
+    "R022": AnalysisRuleInfo(
+        "R022",
+        "no bare np.ndarray parameters in hot-path modules",
+        """\
+The struct-of-arrays hot path (core/arraystate.py, control/router.py,
+control/scheduler.py, queueing/*, solvers/sequential_fix.py) is where
+a shape mistake costs the most and where the axis analyzer needs
+signatures to anchor its inference.  A parameter annotated bare
+`np.ndarray` documents nothing and checks nothing.
+
+Fix: annotate with the repro.axes alias naming the layout —
+NodeVec (N,), LinkVec (L,), QueuePackets (N, S), LinkBandMat (L, M),
+LinkToNode for index arrays, or AnyArray when the function is
+genuinely shape-generic (e.g. seq_sum).
+""",
+    ),
+    "R023": AnalysisRuleInfo(
+        "R023",
+        "no frozen-index violations (node ids vs. link positions)",
+        """\
+The array core freezes three orders: nodes (N), links (L) and sessions
+(S).  Index arrays cross them — link_tx/link_rx are (L,) arrays of
+*node ids*, so `q[link_tx]` is a valid gather producing (L, S), but
+`g[link_tx]` reads the link-axis G backlog at node-id positions:
+in-range, silent, wrong.
+
+The analyzer tracks the IndexInto metadata of repro.axes index aliases
+(LinkToNode, SessionToNode, ...) and flags any subscript where the
+index array's value domain differs from the indexed array's axis.
+
+Fix: index link-axis arrays by link position and node-axis arrays by
+node id; when converting between the two, go through the frozen
+ArrayState.links order explicitly.
+""",
+    ),
+}

@@ -1,20 +1,27 @@
-"""Command-line front end for the static units/equations analysis.
+"""Command-line front end for the static dataflow/equations analysis.
 
 Usage::
 
-    python -m repro.analysis [PATH ...] [--select R010,R012]
+    python -m repro.analysis [PATH ...] [--select R010,R02,R03]
                              [--explain [RULE]] [--format text|json|github]
     python -m repro.analysis --equations [--manifest docs/equations.toml]
                              [--src src/repro]
 
-The default invocation runs the units/dimension dataflow analysis
-(rules R010-R012) over the given paths (default: ``src``), reusing the
-``repro.lint`` discovery, noqa and output conventions; ``--equations``
-instead cross-checks the docstring equation citations against the
-``docs/equations.toml`` manifest (rules EQ001-EQ003).  Exit status is
-1 when any finding is reported, 0 when clean, 2 on usage errors —
-identical to ``python -m repro.lint``, so both slot into
-``scripts/check.sh`` and CI the same way.
+The default invocation runs three checker families over the given
+paths (default: ``src``), reusing the ``repro.lint`` discovery, noqa
+and output conventions:
+
+* the units/dimension dataflow analysis (rules R010-R012);
+* the array axis/shape dataflow analysis (rules R020-R023);
+* the determinism rules (rules R030-R032).
+
+``--select`` accepts exact ids or prefixes — ``--select R02,R03``
+selects both whole families.  ``--equations`` instead cross-checks the
+docstring equation citations against the ``docs/equations.toml``
+manifest (rules EQ001-EQ003).  Exit status is 1 when any finding is
+reported, 0 when clean, 2 on usage errors — identical to
+``python -m repro.lint``, so both slot into ``scripts/check.sh`` and
+CI the same way.
 """
 
 from __future__ import annotations
@@ -25,56 +32,59 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Set
 
-from repro.analysis.dataflow import ANALYSIS_RULES, UnitDataflowRule
+from repro.analysis.arrayflow import ArrayDataflowRule
+from repro.analysis.dataflow import UnitDataflowRule
+from repro.analysis.determinism import DETERMINISM_RULE_CLASSES
 from repro.analysis.equations import (
     DEFAULT_MANIFEST,
     DEFAULT_SRC_ROOT,
     EQUATION_RULES,
     audit_equations,
 )
+from repro.analysis.registry import ANALYZER_RULE_IDS, RULE_REGISTRY
 from repro.lint.cli import lint_paths
 from repro.lint.emitter import FORMATS, emit
 from repro.lint.rules import Finding
 
-#: Rule ids the units analysis can emit (E999 rides along for
-#: unparsable files, mirroring the lint CLI).
+#: Rule ids the units analysis can emit, kept for backwards
+#: compatibility (E999 rides along for unparsable files).
 UNIT_RULE_IDS = ("R010", "R011", "R012")
 
 
 def analyze_paths(paths: Sequence[str]) -> List[Finding]:
-    """Run the units dataflow analysis over files/directories."""
-    return list(lint_paths(paths, [UnitDataflowRule()]))
+    """Run all dataflow/determinism analyses over files/directories."""
+    rules = [UnitDataflowRule(), ArrayDataflowRule()]
+    rules.extend(cls() for cls in DETERMINISM_RULE_CLASSES)
+    return list(lint_paths(paths, rules))
 
 
 def _explain(rule_id: Optional[str]) -> int:
     """Print the analysis rule catalogue (or one rule's rationale)."""
     if rule_id is None:
-        for info in ANALYSIS_RULES.values():
-            print(f"{info.rule_id}  {info.title}")
-        for eq_id, (title, _) in EQUATION_RULES.items():
-            print(f"{eq_id}  {title}")
+        for rid in ANALYZER_RULE_IDS:
+            print(f"{rid}  {RULE_REGISTRY[rid].title}")
+        for eq_id in EQUATION_RULES:
+            print(f"{eq_id}  {RULE_REGISTRY[eq_id].title}")
         print()
         print("Use --explain RULE_ID for the full rationale of one rule.")
         return 0
     key = rule_id.upper()
-    info = ANALYSIS_RULES.get(key)
+    info = RULE_REGISTRY.get(key)
     if info is not None:
         print(f"{info.rule_id} — {info.title}")
         print()
         print(info.explain)
-        return 0
-    if key in EQUATION_RULES:
-        title, explain = EQUATION_RULES[key]
-        print(f"{key} — {title}")
-        print()
-        print(explain)
         return 0
     print(f"unknown rule id: {rule_id}", file=sys.stderr)
     return 2
 
 
 def _selected_ids(select: Optional[str], valid: Sequence[str]) -> Optional[Set[str]]:
-    """Resolve ``--select`` into a set of rule ids (None = all)."""
+    """Resolve ``--select`` into a set of rule ids (None = all).
+
+    Tokens match exactly or as prefixes: ``R02`` selects every
+    ``R02x`` rule, ``R0`` selects all R-rules of the family list.
+    """
     if select is None:
         return None
     chosen: Set[str] = set()
@@ -82,12 +92,13 @@ def _selected_ids(select: Optional[str], valid: Sequence[str]) -> Optional[Set[s
         token = token.strip().upper()
         if not token:
             continue
-        if token not in valid:
+        matched = {rid for rid in valid if rid.startswith(token)}
+        if not matched:
             raise SystemExit(
                 f"repro.analysis: unknown rule id in --select: {token} "
                 f"(valid: {', '.join(valid)})"
             )
-        chosen.add(token)
+        chosen.update(matched)
     return chosen
 
 
@@ -104,8 +115,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _run(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static units/dimension analysis (R010-R012) and "
-        "paper-equation coverage audit (EQ001-EQ003).",
+        description="Static units/dimension analysis (R010-R012), array "
+        "axis/shape analysis (R020-R023), determinism rules (R030-R032) "
+        "and paper-equation coverage audit (EQ001-EQ003).",
     )
     parser.add_argument(
         "paths",
@@ -169,7 +181,7 @@ def _run(argv: Optional[Sequence[str]] = None) -> int:
         findings = audit_equations(manifest, src_root).findings
         label = "equation-audit finding(s)"
     else:
-        selected = _selected_ids(args.select, UNIT_RULE_IDS)
+        selected = _selected_ids(args.select, ANALYZER_RULE_IDS)
         paths = args.paths or ["src"]
         try:
             findings = analyze_paths(paths)

@@ -47,6 +47,7 @@ from repro.analysis.unitlattice import (
 )
 from repro.analysis.unitlattice import mul_result as _mul
 from repro.analysis.unitlattice import div_result as _div
+from repro.axes import ALIAS_UNITS as _AXES_UNITS
 from repro.lint.rules import FileContext, Finding, Rule
 from repro.units import ALIAS_UNITS, Unit
 
@@ -115,6 +116,13 @@ class _ModuleIndex:
                 if node.module == "repro.units":
                     for alias in node.names:
                         unit = _UNIT.get(alias.name)
+                        if unit is not None:
+                            self.alias_names[alias.asname or alias.name] = unit
+                elif node.module == "repro.axes":
+                    # Unit-carrying array aliases (NodeJoules, ...)
+                    # feed the units lattice too.
+                    for alias in node.names:
+                        unit = _AXES_UNITS.get(alias.name)
                         if unit is not None:
                             self.alias_names[alias.asname or alias.name] = unit
                 elif node.module == "repro" and any(a.name == "units" for a in node.names):

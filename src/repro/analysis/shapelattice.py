@@ -1,0 +1,221 @@
+"""The abstract-value lattice for the array axis dataflow analysis.
+
+Mirrors :mod:`repro.analysis.unitlattice`, but the tracked property is
+the tuple of *named axes* of a numpy array rather than a physical
+unit.  Each expression evaluates to one of:
+
+- ``UNKNOWN`` — no axis information (top).  Arithmetic with an
+  unknown operand stays unknown; the analyzer reports nothing, which
+  keeps it sound-but-quiet on un-annotated code.
+- ``SCALAR`` — a provable Python/numpy scalar (literals, ``len()``,
+  full reductions).  Broadcasts with anything.
+- an **array** element — a known tuple of axis names such as
+  ``("L", "M")``, optionally tagged with the axis its integer values
+  index (``IndexInto``) for rule R023.
+- an **instance** element — a value of a known annotated class
+  (``ArrayState``, ``_RouterStatic``, ...) whose attributes resolve
+  through a class table.  Instances never participate in broadcasting.
+
+Broadcasting follows numpy's right-alignment rule on *names*: axes are
+compared from the trailing end, the literal axis ``"1"`` (inserted via
+``None``/``np.newaxis``) broadcasts against anything, and two distinct
+real names in the same slot are rule R020 — the analyzer has no sizes,
+so it treats differently-named axes as incompatible even when their
+runtime lengths coincide (that accidental compatibility is exactly the
+silent-transpose bug the rule exists to catch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.axes import ANY_AXIS
+
+_KIND_UNKNOWN = "unknown"
+_KIND_SCALAR = "scalar"
+_KIND_ARRAY = "array"
+_KIND_INSTANCE = "instance"
+
+#: The broadcast-with-anything axis inserted by ``None`` indexing.
+BROADCAST_AXIS = "1"
+
+
+@dataclass(frozen=True)
+class Elem:
+    """One lattice element (immutable, hashable)."""
+
+    kind: str
+    axes: Tuple[str, ...] = ()
+    index_into: Optional[str] = None
+    class_name: Optional[str] = None
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.kind == _KIND_UNKNOWN
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind == _KIND_SCALAR
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == _KIND_ARRAY
+
+    @property
+    def is_instance(self) -> bool:
+        return self.kind == _KIND_INSTANCE
+
+    @property
+    def is_any_shape(self) -> bool:
+        """Array annotated shape-agnostic (``Axes(ANY_AXIS)``)."""
+        return self.is_array and ANY_AXIS in self.axes
+
+    @property
+    def rank(self) -> int:
+        return len(self.axes)
+
+    def __str__(self) -> str:
+        if self.is_array:
+            shape = "(" + ", ".join(self.axes) + ")"
+            if self.index_into is not None:
+                return f"{shape}->{self.index_into}-ids"
+            return shape
+        if self.is_instance:
+            return str(self.class_name)
+        return self.kind
+
+    def format_axes(self) -> str:
+        return "(" + ", ".join(self.axes) + ")"
+
+
+UNKNOWN = Elem(_KIND_UNKNOWN)
+SCALAR = Elem(_KIND_SCALAR)
+
+
+def array_elem(
+    axes: Tuple[str, ...], index_into: Optional[str] = None
+) -> Elem:
+    """An array element with the given axis names."""
+    return Elem(_KIND_ARRAY, axes=tuple(axes), index_into=index_into)
+
+
+def instance_elem(class_name: str) -> Elem:
+    """A value of a known annotated class."""
+    return Elem(_KIND_INSTANCE, class_name=class_name)
+
+
+def join(a: Elem, b: Elem) -> Elem:
+    """Least upper bound for control-flow merges.
+
+    Equal elements survive a merge; anything else degrades to
+    ``UNKNOWN`` (index tags that disagree are dropped first, so two
+    branches producing the same axes with different index domains
+    still merge to a plain array).
+    """
+    if a == b:
+        return a
+    if (
+        a.is_array
+        and b.is_array
+        and a.axes == b.axes
+    ):
+        # Same shape, different (or one-sided) index tag: keep the
+        # shape, drop the tag.
+        return array_elem(a.axes)
+    return UNKNOWN
+
+
+def broadcast(
+    a: Elem, b: Elem
+) -> Tuple[Elem, Optional[Tuple[Elem, Elem]]]:
+    """Result of broadcasting two operands, numpy-style.
+
+    Returns ``(result, mismatch)`` where ``mismatch`` is the offending
+    pair when the named axes are provably incompatible (rule R020).
+    On mismatch the result degrades to ``UNKNOWN`` so one bug yields
+    one finding, mirroring the units lattice.
+    """
+    if a.is_instance or b.is_instance:
+        return UNKNOWN, None
+    if a.is_unknown or b.is_unknown:
+        return UNKNOWN, None
+    if a.is_scalar and b.is_scalar:
+        return SCALAR, None
+    if a.is_scalar:
+        return _strip_index(b), None
+    if b.is_scalar:
+        return _strip_index(a), None
+    if a.is_any_shape or b.is_any_shape:
+        return UNKNOWN, None
+
+    result = broadcast_axes(a.axes, b.axes)
+    if result is None:
+        return UNKNOWN, (a, b)
+    return array_elem(result), None
+
+
+def broadcast_axes(
+    a: Tuple[str, ...], b: Tuple[str, ...]
+) -> Optional[Tuple[str, ...]]:
+    """Right-aligned axis-name broadcast; ``None`` if incompatible."""
+    rank = max(len(a), len(b))
+    out = []
+    for pos in range(1, rank + 1):
+        name_a = a[-pos] if pos <= len(a) else BROADCAST_AXIS
+        name_b = b[-pos] if pos <= len(b) else BROADCAST_AXIS
+        if name_a == name_b:
+            out.append(name_a)
+        elif name_a == BROADCAST_AXIS:
+            out.append(name_b)
+        elif name_b == BROADCAST_AXIS:
+            out.append(name_a)
+        else:
+            return None
+    return tuple(reversed(out))
+
+
+def reduce_axes(
+    elem: Elem, axis: Optional[int], keepdims: bool = False
+) -> Tuple[Elem, Optional[str]]:
+    """Result of a reduction (``sum``/``max``/``any``/...) over ``axis``.
+
+    Returns ``(result, error)`` where ``error`` is a human-readable
+    reason when ``axis`` is provably out of range for the operand's
+    declared rank (rule R021).
+    """
+    if not elem.is_array or elem.is_any_shape:
+        return UNKNOWN, None
+    if axis is None:
+        # Full reduction.
+        if keepdims:
+            return array_elem((BROADCAST_AXIS,) * elem.rank), None
+        return SCALAR, None
+    resolved = axis + elem.rank if axis < 0 else axis
+    if resolved < 0 or resolved >= elem.rank:
+        return UNKNOWN, (
+            f"axis {axis} is out of range for the declared "
+            f"{elem.format_axes()} array (rank {elem.rank})"
+        )
+    names = list(elem.axes)
+    if keepdims:
+        names[resolved] = BROADCAST_AXIS
+    else:
+        del names[resolved]
+    if not names:
+        return SCALAR, None
+    return array_elem(tuple(names)), None
+
+
+def transpose(elem: Elem) -> Elem:
+    """``x.T`` / ``np.transpose(x)``: reverse the axis names."""
+    if not elem.is_array or elem.is_any_shape:
+        return UNKNOWN if not elem.is_scalar else SCALAR
+    return array_elem(tuple(reversed(elem.axes)))
+
+
+def _strip_index(elem: Elem) -> Elem:
+    """Arithmetic results are no longer pure index arrays."""
+    if elem.is_array and elem.index_into is not None:
+        return array_elem(elem.axes)
+    return elem

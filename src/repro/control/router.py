@@ -31,6 +31,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.axes import (
+    BandVec,
+    LinkBandMat,
+    LinkSessionMat,
+    LinkVec,
+    NodeBandMat,
+    SessionToNode,
+)
 from repro.contracts import ContractChecker
 from repro.control.decisions import (
     AdmissionDecision,
@@ -60,9 +68,9 @@ class _RouterStatic:
         band_member: ``(L, M)`` bool form of ``common_bands``.
     """
 
-    eligible: np.ndarray
+    eligible: LinkSessionMat
     common_bands: Tuple[frozenset, ...]
-    band_member: np.ndarray
+    band_member: LinkBandMat
 
 
 class RouterMode(enum.Enum):
@@ -131,10 +139,10 @@ class BackpressureRouter:
         sessions = self._model.sessions
         # (17): destinations emit nothing; destination in-links are
         # handled by the constraint-(18) pass.
-        dests = np.fromiter(
+        dests: SessionToNode = np.fromiter(
             (s.destination for s in sessions), dtype=np.intp, count=len(sessions)
         )
-        eligible = (arrays.link_tx[:, None] != dests[None, :]) & (
+        eligible: LinkSessionMat = (arrays.link_tx[:, None] != dests[None, :]) & (
             arrays.link_rx[:, None] != dests[None, :]
         )
         spectrum = self._model.spectrum
@@ -315,7 +323,7 @@ class BackpressureRouter:
 
     def _route_remaining_links_vectorized(
         self,
-        coeff: np.ndarray,
+        coeff: LinkSessionMat,
         arrays: ArrayState,
         observation: SlotObservation,
         schedule: ScheduleDecision,
@@ -339,7 +347,7 @@ class BackpressureRouter:
 
         # Per-link Eq.-(25) capacity, as one (L,) expression.
         if self._mode is RouterMode.POTENTIAL_CAPACITY:
-            caps_bps = np.fromiter(
+            caps_bps: BandVec = np.fromiter(
                 (
                     max_link_capacity_bps(
                         observation.bands.bandwidth(m), params.sinr_threshold
@@ -350,20 +358,24 @@ class BackpressureRouter:
                 count=self._model.spectrum.num_bands,
             )
             if observation.band_access is not None:
-                access = np.zeros((arrays.num_nodes, caps_bps.size), dtype=bool)
+                access: NodeBandMat = np.zeros(
+                    (arrays.num_nodes, caps_bps.size), dtype=bool
+                )
                 for node, bands in observation.band_access.items():  # noqa: R006 - builds the (N, M) access mask feeding the vectorized pass
                     for band in bands:
                         access[node, band] = True
-                member = access[arrays.link_tx] & access[arrays.link_rx]
+                member: LinkBandMat = access[arrays.link_tx] & access[arrays.link_rx]
             else:
                 member = static.band_member
-            best_bps = np.max(
+            best_bps: LinkVec = np.max(
                 np.where(member, caps_bps[None, :], -np.inf),
                 axis=1,
                 initial=-np.inf,
             )
             best_bps[~member.any(axis=1)] = 0.0
-            capacity = best_bps * params.slot_seconds / params.sessions.packet_size_bits
+            capacity: LinkVec = (
+                best_bps * params.slot_seconds / params.sessions.packet_size_bits
+            )
         else:
             capacity = np.fromiter(
                 (schedule.service_pkts(link) for link in arrays.links),
@@ -371,8 +383,8 @@ class BackpressureRouter:
                 count=num_links,
             )
 
-        active = capacity > 0.0
-        for link in committed:
+        active: LinkVec = capacity > 0.0
+        for link in committed:  # noqa: R032 - order-independent: only clears mask bits, no results or RNG draws depend on visit order
             pos = arrays.link_pos.get(link)
             if pos is not None:
                 active[pos] = False
@@ -383,26 +395,26 @@ class BackpressureRouter:
                 count=num_links,
             )
 
-        src_by_col = np.fromiter(
+        src_by_col: SessionToNode = np.fromiter(
             (admission.sources[sid] for sid in sessions),
             dtype=np.int64,
             count=len(sessions),
         )
         # (16): sources receive nothing; eligible coefficients are
         # strictly negative; (17) via the static mask.
-        mask = (
+        mask: LinkSessionMat = (
             static.eligible
             & (coeff < 0.0)
             & (src_by_col[None, :] != arrays.link_rx[:, None])
             & active[:, None]
         )
-        routed = mask.any(axis=1)
+        routed: LinkVec = mask.any(axis=1)
         if not routed.any():
             return
-        best_value = np.min(np.where(mask, coeff, np.inf), axis=1)
-        ties = mask & (coeff == best_value[:, None])
-        tie_counts = ties.sum(axis=1)
-        first_col = ties.argmax(axis=1)
+        best_value: LinkVec = np.min(np.where(mask, coeff, np.inf), axis=1)
+        ties: LinkSessionMat = mask & (coeff == best_value[:, None])
+        tie_counts: LinkVec = ties.sum(axis=1)
+        first_col: LinkVec = ties.argmax(axis=1)
 
         for pos in np.flatnonzero(routed):
             tx, rx = arrays.links[pos]

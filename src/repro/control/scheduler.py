@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from repro.axes import LinkBandMat, LinkToNode, LinkVec
 from repro.contracts import ContractChecker
 from repro.control.decisions import ScheduleDecision, SlotObservation
 from repro.core.arraystate import LinkArrayMapping
@@ -64,12 +65,12 @@ class _SchedulerStatic(NamedTuple):
         recv_power_rx: ``(L,)`` receiver listening power per link (W).
     """
 
-    link_tx: np.ndarray
-    link_rx: np.ndarray
-    band_member: np.ndarray
+    link_tx: LinkToNode
+    link_rx: LinkToNode
+    band_member: LinkBandMat
     band_order: Tuple[Tuple[int, ...], ...]
-    max_power_tx: np.ndarray
-    recv_power_rx: np.ndarray
+    max_power_tx: LinkVec
+    recv_power_rx: LinkVec
 
 
 class _RadioBudget:

@@ -33,6 +33,18 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, Tuple
 
 import numpy as np
 
+from repro.axes import (
+    AnyArray,
+    LinkToNode,
+    LinkPackets,
+    LinkVec,
+    NodeIds,
+    NodeJoules,
+    NodeSessionMat,
+    NodeVec,
+    QueueMask,
+    QueuePackets,
+)
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import EnergyError
 from repro.types import Link, NodeId, SessionId
@@ -44,7 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see state.py)
 QueueKey = Tuple[NodeId, SessionId]
 
 
-def seq_sum(values: np.ndarray) -> float:
+def seq_sum(values: AnyArray) -> float:
     """Strict left-to-right sum of ``values`` (raveled in C order).
 
     ``np.sum`` uses pairwise summation, which is *not* bit-identical to
@@ -68,7 +80,7 @@ class NodeArrayMapping(MappingBase):
 
     __slots__ = ("_values", "_convert")
 
-    def __init__(self, values: np.ndarray) -> None:
+    def __init__(self, values: NodeVec) -> None:
         self._values = values
         self._convert = bool if values.dtype == np.bool_ else float
 
@@ -100,7 +112,7 @@ class LinkArrayMapping(MappingBase):
 
     def __init__(
         self,
-        values: np.ndarray,
+        values: LinkVec,
         links: Tuple[Link, ...],
         positions: Dict[Link, int],
     ) -> None:
@@ -113,7 +125,7 @@ class LinkArrayMapping(MappingBase):
         return self._links
 
     @property
-    def values_array(self) -> np.ndarray:
+    def values_array(self) -> LinkVec:
         return self._values
 
     def __getitem__(self, link: Link) -> float:
@@ -142,7 +154,7 @@ class QueueArrayMapping(MutableMappingBase):
 
     def __init__(
         self,
-        values: np.ndarray,
+        values: NodeSessionMat,
         keys: Tuple[QueueKey, ...],
         positions: Dict[QueueKey, Tuple[int, int]],
     ) -> None:
@@ -199,6 +211,25 @@ class ArrayState:
             losses ``eta_c`` / ``eta_d``.
         bs_rows / user_rows: row indices for base stations and users.
     """
+
+    # Axis declarations feeding the R020-R023 analyzer: attribute
+    # reads like ``arrays.q`` resolve to these named layouts in every
+    # module that threads an ArrayState.
+    link_tx: LinkToNode
+    link_rx: LinkToNode
+    q: QueuePackets
+    q_valid: QueueMask
+    q_invalid: QueueMask
+    g: LinkPackets
+    battery_level: NodeJoules
+    z_shift: NodeJoules
+    capacity_j: NodeJoules
+    charge_cap_j: NodeJoules
+    discharge_cap_j: NodeJoules
+    charge_efficiency: NodeVec
+    discharge_efficiency: NodeVec
+    bs_rows: NodeIds
+    user_rows: NodeIds
 
     def __init__(self, model: "NetworkModel", constants: "LyapunovConstants") -> None:
         """Freeze the node/session/link indices and allocate the arrays.
@@ -297,7 +328,7 @@ class ArrayState:
     # Vectorized kernels
 
     def apply_battery_actions(
-        self, charge_j: np.ndarray, discharge_j: np.ndarray
+        self, charge_j: NodeJoules, discharge_j: NodeJoules
     ) -> None:
         """Advance every battery one slot (Eq. 4) with Eqs. 9-13 checks.
 
@@ -343,6 +374,6 @@ class ArrayState:
         np.maximum(self.battery_level, 0.0, out=self.battery_level)
         np.minimum(self.battery_level, self.capacity_j, out=self.battery_level)
 
-    def z_values_array(self) -> np.ndarray:
+    def z_values_array(self) -> NodeJoules:
         """``(N,)`` shifted queue values ``z = x - shift`` (Eq. 31)."""
         return self.battery_level - self.z_shift

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.axes import NodeSessionMat, QueueMask, QueuePackets
 from repro.core.arraystate import ArrayState, seq_sum
 from repro.exceptions import QueueError
 from repro.types import NodeId, QueueSemantics, SessionId
@@ -67,6 +68,11 @@ class DataQueueBank:
     When ``storage`` is given the bank adopts the ``ArrayState``'s ``q``
     buffer (and its frozen indices) instead of allocating its own.
     """
+
+    # Axis declarations feeding the R020-R023 analyzer.
+    _q: QueuePackets
+    _valid: QueueMask
+    _invalid: QueueMask
 
     def __init__(
         self,
@@ -194,8 +200,8 @@ class DataQueueBank:
         """
         transfer = self.effective_rates(rates)
 
-        service = np.zeros(self._q.shape)
-        arrivals = np.zeros(self._q.shape)
+        service: NodeSessionMat = np.zeros(self._q.shape)
+        arrivals: NodeSessionMat = np.zeros(self._q.shape)
         rows = self._rows
         cols = self._cols
         for (tx, rx, session), rate in transfer.items():  # noqa: R006 - decision-sized mapping feeding the vectorized buffers

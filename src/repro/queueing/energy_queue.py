@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.axes import NodeJoules
 from repro.constants import FEASIBILITY_EPS
 from repro.exceptions import QueueError
 from repro.types import NodeId
@@ -57,7 +58,7 @@ class ShiftedEnergyQueue:
     def _level_j(self, value: Joules) -> None:
         self._storage[self._index] = value
 
-    def bind_storage(self, buffer: np.ndarray, index: int) -> None:
+    def bind_storage(self, buffer: NodeJoules, index: int) -> None:
         """Re-home the level into slot ``index`` of a shared array.
 
         Cold path: called once per node by the array-backed

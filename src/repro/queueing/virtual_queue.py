@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro.axes import LinkPackets, LinkVec
 from repro.core.arraystate import ArrayState, seq_sum
 from repro.exceptions import QueueError
 from repro.types import Link
@@ -65,6 +66,9 @@ class VirtualQueueBank:
     ``ArrayState``'s ``g`` buffer and frozen link index.
     """
 
+    # Axis declaration feeding the R020-R023 analyzer.
+    _g: LinkPackets
+
     def __init__(
         self,
         links: Iterable[Link],
@@ -98,7 +102,7 @@ class VirtualQueueBank:
         """``H_ij(t)`` for one link."""
         return self.beta * self.g(link)
 
-    def h_array(self) -> np.ndarray:
+    def h_array(self) -> LinkPackets:
         """A fresh ``(num_links,)`` array of ``H_ij(t) = beta * G_ij(t)``."""
         return self.beta * self._g
 
@@ -131,8 +135,8 @@ class VirtualQueueBank:
                 ``(1/delta) sum_m c_ij^m(t) a_ij^m(t) delta_t``.
         """
         num_links = len(self._links)
-        arrivals = np.zeros(num_links)
-        service = np.zeros(num_links)
+        arrivals: LinkVec = np.zeros(num_links)
+        service: LinkVec = np.zeros(num_links)
         pos_of = self._pos
         for link, pkts in arrivals_pkts.items():  # noqa: R006 - decision-sized mapping feeding the vectorized buffers
             pos = pos_of.get(link)

@@ -92,7 +92,7 @@ def sequential_fix(
             )
 
         lp = build_lp(dict(fixed))
-        missing = [k for k in remaining if not lp.has_variable(k)]
+        missing = [k for k in sorted(remaining, key=repr) if not lp.has_variable(k)]
         if missing:
             raise SolverError(
                 f"LP builder omitted unfixed binary variables: {missing[:5]}"
@@ -118,7 +118,7 @@ def sequential_fix(
         if solution.values[best] <= eps:
             # The relaxation puts every unfixed variable at zero: with
             # all conflicts already resolved, all-zero is optimal.
-            for key in list(remaining):
+            for key in list(remaining):  # noqa: R032 - every key gets the same value 0; dict order of the zeros is not observable downstream
                 fixed[key] = 0
             remaining.clear()
             continue

@@ -1,0 +1,423 @@
+"""Tests for the axis/shape dataflow analyzer (R020-R023).
+
+Covers the shape lattice (join, right-aligned broadcast, reductions,
+transpose), the per-rule positive/negative fixtures, noqa suppression,
+the hot-path scoping of R022, frozen-index tracking for R023, CLI
+prefix ``--select``, and a seeded-mutation test proving a transposed
+``(M, L)`` broadcast into the real router's ``(L, M)`` kernel trips
+R020 while the pristine source stays clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.arrayflow import ArrayDataflowRule, is_hot_path
+from repro.analysis.cli import main
+from repro.analysis.shapelattice import (
+    BROADCAST_AXIS,
+    SCALAR,
+    UNKNOWN,
+    array_elem,
+    broadcast,
+    broadcast_axes,
+    instance_elem,
+    join,
+    reduce_axes,
+    transpose,
+)
+from repro.lint.cli import lint_source
+
+LIB = Path("src/repro/example.py")
+HOT = Path("src/repro/queueing/example.py")
+TESTFILE = Path("tests/test_example.py")
+
+ROUTER = Path("src/repro/control/router.py")
+
+
+def findings(source, path=LIB):
+    return lint_source(
+        textwrap.dedent(source), str(path), [ArrayDataflowRule()], path=path
+    )
+
+
+def rule_ids(source, path=LIB):
+    return [f.rule_id for f in findings(source, path)]
+
+
+class TestShapeLattice:
+    def test_join_identity_and_top(self):
+        lm = array_elem(("L", "M"))
+        assert join(lm, lm) == lm
+        assert join(lm, array_elem(("M", "L"))) == UNKNOWN
+        assert join(lm, SCALAR) == UNKNOWN
+        assert join(SCALAR, SCALAR) == SCALAR
+        assert join(UNKNOWN, lm) == UNKNOWN
+
+    def test_join_drops_disagreeing_index_tag(self):
+        tagged = array_elem(("L",), index_into="N")
+        plain = array_elem(("L",))
+        joined = join(tagged, plain)
+        assert joined.axes == ("L",)
+        assert joined.index_into is None
+
+    def test_broadcast_axes_right_alignment(self):
+        assert broadcast_axes(
+            ("L", BROADCAST_AXIS), (BROADCAST_AXIS, "S")
+        ) == ("L", "S")
+        assert broadcast_axes(("M",), ("L", "M")) == ("L", "M")
+        # Right-aligned comparison pairs "L" against "S": incompatible.
+        assert broadcast_axes(("L",), ("L", "S")) is None
+        assert broadcast_axes(("L", "M"), ("M", "L")) is None
+
+    def test_broadcast_reports_mismatch_only_when_proven(self):
+        lm = array_elem(("L", "M"))
+        ml = array_elem(("M", "L"))
+        result, mismatch = broadcast(lm, ml)
+        assert result == UNKNOWN
+        assert mismatch == (lm, ml)
+        # Scalar and unknown operands degrade silently.
+        assert broadcast(lm, SCALAR) == (array_elem(("L", "M")), None)
+        assert broadcast(lm, UNKNOWN) == (UNKNOWN, None)
+        assert broadcast(instance_elem("Foo"), lm) == (UNKNOWN, None)
+
+    def test_reduce_axes(self):
+        lm = array_elem(("L", "M"))
+        reduced, err = reduce_axes(lm, 1, False)
+        assert err is None and reduced.axes == ("L",)
+        reduced, err = reduce_axes(lm, -1, False)
+        assert err is None and reduced.axes == ("L",)
+        reduced, err = reduce_axes(lm, 0, True)
+        assert err is None and reduced.axes == (BROADCAST_AXIS, "M")
+        reduced, err = reduce_axes(lm, None, False)
+        assert err is None and reduced == SCALAR
+        _, err = reduce_axes(array_elem(("L",)), 1, False)
+        assert err is not None
+
+    def test_transpose(self):
+        assert transpose(array_elem(("L", "M"))).axes == ("M", "L")
+        assert transpose(SCALAR) == SCALAR
+
+
+class TestR020Broadcast:
+    def test_transposed_operand_flagged(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat
+
+            def f(a: LinkBandMat, b: LinkBandMat):
+                return a + b.T
+            """
+        )
+
+    def test_matching_axes_clean(self):
+        assert rule_ids(
+            """
+            import numpy as np
+            from repro.axes import LinkBandMat, LinkVec
+
+            def f(a: LinkBandMat, b: LinkBandMat, v: LinkVec):
+                c = a + b
+                d = a * 2.0
+                e = np.maximum(a, b)
+                broadcastable = a + v[:, None]
+                return c + d + e + broadcastable
+            """
+        ) == []
+
+    def test_annassign_declaration_mismatch(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat, NodeSessionMat
+
+            def f(a: LinkBandMat):
+                b: NodeSessionMat = a + 1.0
+                return b
+            """
+        )
+
+    def test_return_declaration_mismatch(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat, NodeVec
+
+            def f(a: LinkBandMat) -> NodeVec:
+                return a + 1.0
+            """
+        )
+
+    def test_argument_pass_mismatch(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat, NodeSessionMat
+
+            def kernel(a: LinkBandMat):
+                return a
+
+            def f(q: NodeSessionMat):
+                return kernel(q)
+            """
+        )
+
+    def test_newaxis_insertion_makes_compatible(self):
+        assert rule_ids(
+            """
+            from repro.axes import LinkVec, SessionVec
+
+            def f(v: LinkVec, s: SessionVec):
+                return v[:, None] * s[None, :]
+            """
+        ) == []
+
+    def test_unknown_operand_degrades_silently(self):
+        assert rule_ids(
+            """
+            from repro.axes import LinkBandMat
+
+            def f(a: LinkBandMat, mystery):
+                return a + mystery
+            """
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert rule_ids(
+            """
+            from repro.axes import LinkBandMat
+
+            def f(a: LinkBandMat, b: LinkBandMat):
+                return a + b.T  # noqa: R020 - duck-shape trick under test
+            """
+        ) == []
+
+
+class TestR021Reduction:
+    def test_out_of_range_method_axis(self):
+        assert "R021" in rule_ids(
+            """
+            from repro.axes import LinkVec
+
+            def f(v: LinkVec):
+                return v.sum(axis=1)
+            """
+        )
+
+    def test_out_of_range_numpy_axis(self):
+        assert "R021" in rule_ids(
+            """
+            import numpy as np
+            from repro.axes import LinkBandMat
+
+            def f(a: LinkBandMat):
+                return np.max(a, axis=2)
+            """
+        )
+
+    def test_in_range_axes_clean(self):
+        assert rule_ids(
+            """
+            import numpy as np
+            from repro.axes import LinkBandMat, LinkVec
+
+            def f(a: LinkBandMat, v: LinkVec):
+                total = v.sum(axis=0)
+                best = a.max(axis=1)
+                neg = np.sum(a, axis=-1)
+                kept = a.any(axis=1, keepdims=True)
+                return total + best.sum() + neg.sum() + float(kept.sum())
+            """
+        ) == []
+
+    def test_reduction_output_shape_feeds_broadcast(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat, LinkVec, BandVec
+
+            def f(a: LinkBandMat, v: LinkVec) -> BandVec:
+                return a.max(axis=1) + v
+            """
+        )
+
+
+class TestR022BareParams:
+    SOURCE = """
+        import numpy as np
+
+        def kernel(values: np.ndarray) -> float:
+            return float(values.sum())
+        """
+
+    def test_hot_path_flagged(self):
+        assert "R022" in rule_ids(self.SOURCE, path=HOT)
+
+    def test_cold_path_clean(self):
+        assert rule_ids(self.SOURCE, path=LIB) == []
+
+    def test_test_file_clean(self):
+        assert rule_ids(self.SOURCE, path=TESTFILE) == []
+
+    def test_annotated_alias_clean(self):
+        assert rule_ids(
+            """
+            from repro.axes import AnyArray
+
+            def kernel(values: AnyArray) -> float:
+                return float(values.sum())
+            """,
+            path=HOT,
+        ) == []
+
+    def test_hot_path_coverage(self):
+        assert is_hot_path("src/repro/core/arraystate.py")
+        assert is_hot_path("src/repro/control/router.py")
+        assert is_hot_path("src/repro/control/scheduler.py")
+        assert is_hot_path("src/repro/queueing/data_queue.py")
+        assert is_hot_path("src/repro/solvers/sequential_fix.py")
+        assert not is_hot_path("src/repro/sim/engine.py")
+
+
+class TestR023FrozenIndex:
+    def test_wrong_index_family_flagged(self):
+        assert "R023" in rule_ids(
+            """
+            from repro.axes import LinkPackets, LinkToNode
+
+            def f(g: LinkPackets, link_tx: LinkToNode):
+                return g[link_tx]
+            """
+        )
+
+    def test_matching_index_family_clean(self):
+        assert rule_ids(
+            """
+            from repro.axes import LinkToNode, QueuePackets
+
+            def f(q: QueuePackets, link_tx: LinkToNode):
+                return q[link_tx]
+            """
+        ) == []
+
+    def test_gather_output_axes(self):
+        # q[link_tx] is (L, S); adding a LinkSessionMat is fine, a
+        # NodeSessionMat is not.
+        assert rule_ids(
+            """
+            from repro.axes import LinkSessionMat, LinkToNode, QueuePackets
+
+            def f(q: QueuePackets, link_tx: LinkToNode, m: LinkSessionMat):
+                return q[link_tx] - m
+            """
+        ) == []
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkToNode, NodeSessionMat, QueuePackets
+
+            def f(q: QueuePackets, link_tx: LinkToNode, m: NodeSessionMat):
+                return q[link_tx] - m
+            """
+        )
+
+    def test_untagged_index_degrades_silently(self):
+        assert rule_ids(
+            """
+            from repro.axes import LinkVec, QueuePackets
+
+            def f(q: QueuePackets, rows: LinkVec):
+                return q[rows]
+            """
+        ) == []
+
+
+class TestClassAttributes:
+    def test_same_module_class_spec(self):
+        assert "R020" in rule_ids(
+            """
+            from repro.axes import LinkBandMat, NodeVec
+
+            class Tables:
+                member: LinkBandMat
+                charge: NodeVec
+
+            def f(t: Tables):
+                return t.member + t.charge
+            """
+        )
+
+    def test_builtin_arraystate_spec(self):
+        # ArrayState is resolved through runtime reflection: q is
+        # (N, S) and g is (L,), which cannot broadcast.
+        assert "R020" in rule_ids(
+            """
+            from repro.core.arraystate import ArrayState
+
+            def f(arrays: ArrayState):
+                return arrays.q + arrays.g
+            """
+        )
+        assert rule_ids(
+            """
+            from repro.core.arraystate import ArrayState
+
+            def f(arrays: ArrayState):
+                return arrays.q[arrays.link_tx] * arrays.g[:, None]
+            """
+        ) == []
+
+
+class TestCLI:
+    def test_prefix_select(self, tmp_path):
+        bad = tmp_path / "example.py"
+        bad.write_text(
+            textwrap.dedent(
+                """
+                from repro.axes import LinkBandMat
+
+                def f(a: LinkBandMat, b: LinkBandMat):
+                    return a + b.T
+                """
+            )
+        )
+        assert main(["--select", "R02", str(bad)]) == 1
+        assert main(["--select", "R021", str(bad)]) == 0
+        assert main(["--select", "R03", str(bad)]) == 0
+
+    def test_unknown_select_token_rejected(self, tmp_path):
+        empty = tmp_path / "example.py"
+        empty.write_text("x = 1\n")
+        with pytest.raises(SystemExit):
+            main(["--select", "R09", str(empty)])
+
+    def test_explain_new_rules(self, capsys):
+        for rule_id in ("R020", "R021", "R022", "R023"):
+            assert main(["--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert rule_id in out
+            assert len(out.strip()) > 40
+
+
+@pytest.mark.skipif(not ROUTER.exists(), reason="requires repo layout")
+class TestRouterMutation:
+    """Seeded-mutation acceptance: the analyzer catches a real bug."""
+
+    ANCHOR = "np.where(member, caps_bps[None, :]"
+
+    def test_pristine_router_clean(self):
+        source = ROUTER.read_text()
+        assert self.ANCHOR in source
+        result = lint_source(
+            source, str(ROUTER), [ArrayDataflowRule()], path=ROUTER
+        )
+        assert result == []
+
+    def test_transposed_broadcast_trips_r020(self):
+        source = ROUTER.read_text()
+        mutated = source.replace(
+            self.ANCHOR, "np.where(member.T, caps_bps[None, :]"
+        )
+        assert mutated != source
+        result = lint_source(
+            mutated, str(ROUTER), [ArrayDataflowRule()], path=ROUTER
+        )
+        assert "R020" in [f.rule_id for f in result]

@@ -1,0 +1,334 @@
+"""Tests for the determinism lint rules (R030-R032).
+
+Covers the RNG discipline (legacy global numpy draws, stdlib random,
+unseeded generator construction, the sim/rng.py exemption), wallclock
+reads in library code, set-iteration order hazards, noqa suppression,
+and a seeded-mutation test proving an injected module-level
+``np.random.rand`` in the real sim engine trips R030.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.determinism import (
+    DETERMINISM_RULE_CLASSES,
+    GlobalRngRule,
+    SetIterationRule,
+    WallclockRule,
+)
+from repro.lint.cli import lint_source
+
+LIB = Path("src/repro/example.py")
+TESTFILE = Path("tests/test_example.py")
+RNG_MODULE = Path("src/repro/sim/rng.py")
+
+ENGINE = Path("src/repro/sim/engine.py")
+
+
+def findings(source, rule, path=LIB):
+    return lint_source(textwrap.dedent(source), str(path), [rule()], path=path)
+
+
+def rule_ids(source, rule, path=LIB):
+    return [f.rule_id for f in findings(source, rule, path)]
+
+
+class TestGlobalRngRule:
+    def test_legacy_global_numpy_draw(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(4)
+            """,
+            GlobalRngRule,
+        ) == ["R030"]
+
+    def test_aliased_import_still_caught(self):
+        assert rule_ids(
+            """
+            import numpy
+
+            def f():
+                numpy.random.shuffle([1, 2, 3])
+            """,
+            GlobalRngRule,
+        ) == ["R030"]
+
+    def test_unseeded_default_rng(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """,
+            GlobalRngRule,
+        ) == ["R030"]
+
+    def test_seeded_rng_in_library_still_flagged(self):
+        # Library code should accept a Generator, not build one.
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """,
+            GlobalRngRule,
+        ) == ["R030"]
+
+    def test_seeded_rng_in_tests_allowed(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def test_f():
+                return np.random.default_rng(7)
+            """,
+            GlobalRngRule,
+            path=TESTFILE,
+        ) == []
+
+    def test_unseeded_rng_in_tests_flagged(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def test_f():
+                return np.random.default_rng()
+            """,
+            GlobalRngRule,
+            path=TESTFILE,
+        ) == ["R030"]
+
+    def test_stdlib_random(self):
+        assert rule_ids(
+            """
+            import random
+
+            def f():
+                return random.random()
+            """,
+            GlobalRngRule,
+        ) == ["R030"]
+
+    def test_rng_module_exempt(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def build(seed):
+                return np.random.default_rng(seed)
+            """,
+            GlobalRngRule,
+            path=RNG_MODULE,
+        ) == []
+
+    def test_generator_method_draws_clean(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def f(rng: np.random.Generator):
+                return rng.random(4)
+            """,
+            GlobalRngRule,
+        ) == []
+
+    def test_noqa_suppresses(self):
+        assert rule_ids(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(4)  # noqa: R030 - fixture for the lint tests
+            """,
+            GlobalRngRule,
+        ) == []
+
+
+class TestWallclockRule:
+    def test_time_time_flagged(self):
+        assert rule_ids(
+            """
+            import time
+
+            def stamp(record):
+                record["at"] = time.time()
+            """,
+            WallclockRule,
+        ) == ["R031"]
+
+    def test_datetime_now_flagged(self):
+        assert rule_ids(
+            """
+            from datetime import datetime
+
+            def stamp(record):
+                record["at"] = datetime.now()
+            """,
+            WallclockRule,
+        ) == ["R031"]
+
+    def test_perf_counter_allowed(self):
+        assert rule_ids(
+            """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+            WallclockRule,
+        ) == []
+
+    def test_tests_out_of_scope(self):
+        assert rule_ids(
+            """
+            import time
+
+            def test_stamp():
+                return time.time()
+            """,
+            WallclockRule,
+            path=TESTFILE,
+        ) == []
+
+
+class TestSetIterationRule:
+    def test_for_loop_over_set_literal(self):
+        assert rule_ids(
+            """
+            def f(results):
+                for key in {"a", "b"}:
+                    results.append(key)
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_for_loop_over_set_bound_name(self):
+        assert rule_ids(
+            """
+            def f(items, results):
+                pending = set(items)
+                for key in pending:
+                    results.append(key)
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_set_annotated_parameter(self):
+        assert rule_ids(
+            """
+            def f(pending: set, results):
+                for key in pending:
+                    results.append(key)
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_sorted_iteration_clean(self):
+        assert rule_ids(
+            """
+            def f(items, results):
+                pending = set(items)
+                for key in sorted(pending):
+                    results.append(key)
+                return sum(pending) + len(pending)
+            """,
+            SetIterationRule,
+        ) == []
+
+    def test_list_of_set_flagged(self):
+        assert rule_ids(
+            """
+            def f(items):
+                return list(set(items))
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rule_ids(
+            """
+            def f(items):
+                pending = set(items)
+                return [k for k in pending]
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_genexp_feeding_join_flagged(self):
+        assert rule_ids(
+            """
+            def f(items):
+                pending = set(items)
+                return ",".join(str(k) for k in pending)
+            """,
+            SetIterationRule,
+        ) == ["R032"]
+
+    def test_rebound_name_not_a_set(self):
+        assert rule_ids(
+            """
+            def f(items, results):
+                pending = set(items)
+                pending = sorted(pending)
+                for key in pending:
+                    results.append(key)
+            """,
+            SetIterationRule,
+        ) == []
+
+    def test_noqa_with_justification(self):
+        assert rule_ids(
+            """
+            def f(mask, pending: set):
+                for key in pending:  # noqa: R032 - pure membership update
+                    mask.discard(key)
+            """,
+            SetIterationRule,
+        ) == []
+
+
+class TestRuleClassCatalogue:
+    def test_rule_ids_in_order(self):
+        assert [cls.rule_id for cls in DETERMINISM_RULE_CLASSES] == [
+            "R030",
+            "R031",
+            "R032",
+        ]
+
+
+@pytest.mark.skipif(not ENGINE.exists(), reason="requires repo layout")
+class TestEngineMutation:
+    """Seeded-mutation acceptance: an injected global draw is caught."""
+
+    def test_pristine_engine_clean(self):
+        source = ENGINE.read_text()
+        result = lint_source(
+            source, str(ENGINE), [GlobalRngRule()], path=ENGINE
+        )
+        assert result == []
+
+    def test_injected_global_rand_trips_r030(self):
+        source = ENGINE.read_text()
+        mutated = source + textwrap.dedent(
+            """
+
+            import numpy as np
+
+            _JITTER = np.random.rand(4)
+            """
+        )
+        result = lint_source(
+            mutated, str(ENGINE), [GlobalRngRule()], path=ENGINE
+        )
+        assert "R030" in [f.rule_id for f in result]

@@ -1,0 +1,364 @@
+"""Registry-level audit of every rule the toolchain ships.
+
+One parametrized suite asserts, for each rule id across the lint chassis
+(R001-R006), the units dataflow pass (R010-R012), the axis/shape pass
+(R020-R023), the determinism pass (R030-R032), and the equations audit
+(EQ001-EQ003):
+
+* the registry has non-empty ``--explain`` text;
+* at least one positive fixture trips the rule;
+* at least one negative fixture stays clean.
+
+A new rule id without fixtures fails here by construction, so the
+catalogue cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import NamedTuple, Optional, Type
+
+import pytest
+
+from repro.analysis.arrayflow import ArrayDataflowRule
+from repro.analysis.cli import main
+from repro.analysis.dataflow import UnitDataflowRule
+from repro.analysis.determinism import (
+    GlobalRngRule,
+    SetIterationRule,
+    WallclockRule,
+)
+from repro.analysis.equations import audit_equations
+from repro.analysis.registry import ALL_RULE_IDS, RULE_REGISTRY
+from repro.lint.cli import lint_source
+from repro.lint.rules import RULES_BY_ID, Rule
+
+LIB = Path("src/repro/example.py")
+HOT = Path("src/repro/queueing/example.py")
+CONTROL = Path("src/repro/control/example.py")
+
+EXPECTED_IDS = [
+    "R001", "R002", "R003", "R004", "R005", "R006",
+    "R010", "R011", "R012",
+    "R020", "R021", "R022", "R023",
+    "R030", "R031", "R032",
+    "EQ001", "EQ002", "EQ003",
+]
+
+
+class RuleFixture(NamedTuple):
+    rule: Optional[Type[Rule]]  # None for the manifest-audit EQ rules
+    positive: str
+    negative: str
+    path: Path = LIB
+
+
+FIXTURES = {
+    "R001": RuleFixture(
+        None,
+        """
+        import numpy as np
+
+        def f():
+            return np.random.uniform()
+        """,
+        """
+        import numpy as np
+
+        def f(rng: np.random.Generator):
+            return rng.uniform()
+        """,
+    ),
+    "R002": RuleFixture(
+        None,
+        """
+        def f(x: float) -> bool:
+            return x == 1.5
+        """,
+        """
+        def f(x: float) -> bool:
+            return x < 1.5
+        """,
+    ),
+    "R003": RuleFixture(
+        None,
+        """
+        def f(acc=[]):
+            return acc
+        """,
+        """
+        def f(acc=None):
+            return acc
+        """,
+    ),
+    "R004": RuleFixture(
+        None,
+        """
+        def f(x):
+            return x
+        """,
+        """
+        def f(x: float) -> float:
+            return x
+        """,
+    ),
+    "R005": RuleFixture(
+        None,
+        '"""Routing helpers with no citation."""\n',
+        '"""Implements Eq. 15."""\n',
+        CONTROL,
+    ),
+    "R006": RuleFixture(
+        None,
+        """
+        class Bank:
+            def step(self) -> None:
+                for key, value in self._queues.items():
+                    print(key, value)
+        """,
+        """
+        class Bank:
+            def step(self, transfer: dict) -> None:
+                for key, value in transfer.items():
+                    print(key, value)
+        """,
+        HOT,
+    ),
+    "R010": RuleFixture(
+        UnitDataflowRule,
+        """
+        from repro.units import Joules, Watts
+
+        def f(e: Joules, p: Watts) -> float:
+            return e + p
+        """,
+        """
+        from repro.units import Joules
+
+        def f(a: Joules, b: Joules) -> Joules:
+            return a + b
+        """,
+    ),
+    "R011": RuleFixture(
+        UnitDataflowRule,
+        """
+        from repro.units import Db
+
+        def f(a: Db, b: Db) -> float:
+            return a * b
+        """,
+        """
+        from repro.units import Db
+
+        def f(a: Db, b: Db) -> Db:
+            return 2.0 * a + b
+        """,
+    ),
+    "R012": RuleFixture(
+        UnitDataflowRule,
+        """
+        from repro.units import BitsPerSecond, BitsPerSlot
+
+        def f(a: BitsPerSlot, b: BitsPerSecond) -> float:
+            return a + b
+        """,
+        """
+        from repro.units import BitsPerSlot
+
+        def f(a: BitsPerSlot, b: BitsPerSlot) -> BitsPerSlot:
+            return a + b
+        """,
+    ),
+    "R020": RuleFixture(
+        ArrayDataflowRule,
+        """
+        from repro.axes import LinkBandMat
+
+        def f(a: LinkBandMat, b: LinkBandMat):
+            return a + b.T
+        """,
+        """
+        from repro.axes import LinkBandMat
+
+        def f(a: LinkBandMat, b: LinkBandMat):
+            return a + b
+        """,
+    ),
+    "R021": RuleFixture(
+        ArrayDataflowRule,
+        """
+        from repro.axes import LinkVec
+
+        def f(v: LinkVec):
+            return v.sum(axis=1)
+        """,
+        """
+        from repro.axes import LinkVec
+
+        def f(v: LinkVec):
+            return v.sum(axis=0)
+        """,
+    ),
+    "R022": RuleFixture(
+        ArrayDataflowRule,
+        """
+        import numpy as np
+
+        def kernel(values: np.ndarray) -> float:
+            return float(values.sum())
+        """,
+        """
+        from repro.axes import AnyArray
+
+        def kernel(values: AnyArray) -> float:
+            return float(values.sum())
+        """,
+        HOT,
+    ),
+    "R023": RuleFixture(
+        ArrayDataflowRule,
+        """
+        from repro.axes import LinkPackets, LinkToNode
+
+        def f(g: LinkPackets, link_tx: LinkToNode):
+            return g[link_tx]
+        """,
+        """
+        from repro.axes import LinkToNode, QueuePackets
+
+        def f(q: QueuePackets, link_tx: LinkToNode):
+            return q[link_tx]
+        """,
+    ),
+    "R030": RuleFixture(
+        GlobalRngRule,
+        """
+        import numpy as np
+
+        def f():
+            return np.random.rand(4)
+        """,
+        """
+        import numpy as np
+
+        def f(rng: np.random.Generator):
+            return rng.random(4)
+        """,
+    ),
+    "R031": RuleFixture(
+        WallclockRule,
+        """
+        import time
+
+        def stamp(record: dict) -> None:
+            record["at"] = time.time()
+        """,
+        """
+        import time
+
+        def measure() -> float:
+            return time.perf_counter()
+        """,
+    ),
+    "R032": RuleFixture(
+        SetIterationRule,
+        """
+        def f(items, results):
+            pending = set(items)
+            for key in pending:
+                results.append(key)
+        """,
+        """
+        def f(items, results):
+            pending = set(items)
+            for key in sorted(pending):
+                results.append(key)
+        """,
+    ),
+}
+
+MANIFEST = """\
+[[equation]]
+id = 1
+section = "II"
+title = "capacity"
+modules = ["src/repro/mod.py"]
+"""
+
+EQ_FIXTURES = {
+    # (manifest text, module docstring) pairs.
+    "EQ001": ((MANIFEST, '"""No citations."""\n'), (MANIFEST, '"""Eq. 1."""\n')),
+    "EQ002": (
+        (MANIFEST, '"""Eq. 1 and Eq. 99."""\n'),
+        (MANIFEST, '"""Eq. 1."""\n'),
+    ),
+    "EQ003": ((MANIFEST + MANIFEST, '"""Eq. 1."""\n'), (MANIFEST, '"""Eq. 1."""\n')),
+}
+
+
+def _rule_for(rule_id: str) -> Rule:
+    fixture = FIXTURES[rule_id]
+    if fixture.rule is not None:
+        return fixture.rule()
+    return RULES_BY_ID[rule_id]
+
+
+def _lint_ids(rule_id: str, source: str):
+    fixture = FIXTURES[rule_id]
+    found = lint_source(
+        textwrap.dedent(source),
+        str(fixture.path),
+        [_rule_for(rule_id)],
+        path=fixture.path,
+    )
+    return [f.rule_id for f in found]
+
+
+def _audit_ids(tmp_path, manifest_text: str, docstring: str):
+    manifest = tmp_path / "docs" / "equations.toml"
+    manifest.parent.mkdir(parents=True, exist_ok=True)
+    manifest.write_text(manifest_text, encoding="utf-8")
+    module = tmp_path / "src" / "repro" / "mod.py"
+    module.parent.mkdir(parents=True, exist_ok=True)
+    module.write_text(docstring, encoding="utf-8")
+    result = audit_equations(manifest, tmp_path / "src", repo_root=tmp_path)
+    return [f.rule_id for f in result.findings]
+
+
+class TestRegistryShape:
+    def test_every_expected_id_registered(self):
+        assert list(ALL_RULE_IDS) == EXPECTED_IDS
+
+    def test_fixture_tables_cover_the_registry(self):
+        assert sorted(FIXTURES) + sorted(EQ_FIXTURES) == sorted(
+            ALL_RULE_IDS, key=lambda rid: (rid.startswith("EQ"), rid)
+        )
+
+
+@pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
+class TestEveryRule:
+    def test_explain_text_is_substantive(self, rule_id):
+        info = RULE_REGISTRY[rule_id]
+        assert info.rule_id == rule_id
+        assert info.title.strip()
+        assert len(info.explain.strip()) > 80
+
+    def test_explain_via_cli(self, rule_id, capsys):
+        assert main(["--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+
+    def test_positive_fixture_trips(self, rule_id, tmp_path):
+        if rule_id.startswith("EQ"):
+            manifest_text, docstring = EQ_FIXTURES[rule_id][0]
+            assert rule_id in _audit_ids(tmp_path, manifest_text, docstring)
+        else:
+            assert rule_id in _lint_ids(rule_id, FIXTURES[rule_id].positive)
+
+    def test_negative_fixture_is_clean(self, rule_id, tmp_path):
+        if rule_id.startswith("EQ"):
+            manifest_text, docstring = EQ_FIXTURES[rule_id][1]
+            assert _audit_ids(tmp_path, manifest_text, docstring) == []
+        else:
+            assert rule_id not in _lint_ids(rule_id, FIXTURES[rule_id].negative)
