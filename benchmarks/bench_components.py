@@ -10,6 +10,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.callgraph import Program
 from repro.analysis.cli import analyze_paths
 from repro.analysis.equations import audit_equations
 from repro.contracts import ContractChecker
@@ -109,13 +110,25 @@ def test_energy_manager_slot(benchmark, bench_base):
     benchmark(lambda: simulator.controller.energy_manager.manage(inputs))
 
 
-def test_units_analysis_full_tree(benchmark):
-    # The static analyzer gates every CI run and scripts/check.sh, so a
-    # parse+dataflow pass over the whole library must stay cheap.
+def test_analysis_runtime_full_tree(benchmark):
+    # The static analyzer gates every CI run, scripts/check.sh and the
+    # pre-commit hooks, so the whole-program pass — call-graph build,
+    # fixed-point units/axes propagation, hot-path and pool-safety
+    # sweeps — over the full library must stay cheap.
     src = str(_REPO_ROOT / "src")
 
     findings = benchmark(lambda: analyze_paths([src]))
     assert findings == []
+
+
+def test_callgraph_build_runtime(benchmark):
+    # The graph build is the fixed cost every interprocedural rule
+    # shares; track it separately so a parsing/resolution regression
+    # is distinguishable from a slow rule.
+    src = str(_REPO_ROOT / "src")
+
+    program = benchmark(lambda: Program.load([src]))
+    assert program.functions
 
 
 def test_equation_audit_full_tree(benchmark):

@@ -4,8 +4,12 @@ Two families share this package: numerical result analysis (time
 averages, tables, bound-gap convergence, replication) and the static
 analyzers behind ``python -m repro.analysis`` — the units dataflow
 pass (:mod:`repro.analysis.dataflow`), the array axis/shape dataflow
-pass (:mod:`repro.analysis.arrayflow`), the determinism rules
-(:mod:`repro.analysis.determinism`) and the equation coverage audit
+pass (:mod:`repro.analysis.arrayflow`), the whole-program call graph
+(:mod:`repro.analysis.callgraph`) and fixed-point interprocedural
+engine (:mod:`repro.analysis.interproc`), the determinism rules
+(:mod:`repro.analysis.determinism`), the hot-path and process-pool
+call-graph rules (:mod:`repro.analysis.hotpath`,
+:mod:`repro.analysis.poolsafety`) and the equation coverage audit
 (:mod:`repro.analysis.equations`).  The unified rule catalogue lives
 in :mod:`repro.analysis.registry`.
 """
@@ -36,6 +40,9 @@ from repro.analysis.determinism import (
     SetIterationRule,
     WallclockRule,
 )
+from repro.analysis.callgraph import Program
+from repro.analysis.hotpath import HOTPATH_RULES, check_hot_path
+from repro.analysis.poolsafety import POOL_RULES, check_pool_safety
 from repro.analysis.registry import ALL_RULE_IDS, RULE_REGISTRY
 from repro.analysis.equations import (
     EquationEntry,
@@ -53,6 +60,11 @@ __all__ = [
     "GlobalRngRule",
     "SetIterationRule",
     "WallclockRule",
+    "Program",
+    "HOTPATH_RULES",
+    "check_hot_path",
+    "POOL_RULES",
+    "check_pool_safety",
     "ALL_RULE_IDS",
     "RULE_REGISTRY",
     "EquationEntry",

@@ -182,7 +182,7 @@ _BUILTIN_CLASSES: Optional[Dict[str, ClassSpec]] = None
 def builtin_classes() -> Dict[str, ClassSpec]:
     global _BUILTIN_CLASSES
     if _BUILTIN_CLASSES is None:
-        _BUILTIN_CLASSES = _builtin_class_table()
+        _BUILTIN_CLASSES = _builtin_class_table()  # noqa: R050 - idempotent memoization; every process recomputes the same table
     return _BUILTIN_CLASSES
 
 

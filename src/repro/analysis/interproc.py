@@ -1,0 +1,717 @@
+"""Fixed-point interprocedural lattice propagation (R020-R025, R010-R012).
+
+The per-function passes anchor every fact in an annotation *visible in
+the same file*.  This engine lifts both lattices to whole-program
+scope over the :class:`~repro.analysis.callgraph.Program` index:
+
+* **function summaries** — for every function the engine maintains a
+  summary ``(param elements, return element)``.  Declared annotations
+  win; where a parameter is unannotated, the join of the elements
+  observed at *every resolved call site* seeds the callee's
+  environment, and where a return is unannotated, the join of the
+  callee's return expressions flows back to the caller.  Iterating to
+  a fixed point (the lattices are finite-height: everything degrades
+  to ``UNKNOWN``) propagates the ``core/arraystate.py`` axis
+  vocabulary through ``control/``, ``solvers/``, ``phy/`` and
+  ``queueing/`` without annotating every signature;
+* **cross-module call checking** — argument elements are checked
+  against the callee's *declared* signature wherever the call resolves
+  through the import map, upgrading the per-function argument checks
+  to whole-program and emitting **R024** (call-site axis mismatch
+  across a module boundary) where the per-function pass is blind;
+* **return contradiction checking** — a value produced by a
+  summary-resolved call that then contradicts a declared annotation
+  (assignment, return, or broadcast partner) is **R025**: the
+  contradiction only exists interprocedurally.
+
+Seeding from call sites is deliberately optimistic: omitted optional
+arguments and calls through aliased function objects do not join into
+the summary, so a summary may be narrower than runtime reality.  That
+is the standard linter trade-off — every reported mismatch is real
+under some call path the engine actually resolved.
+
+The units lattice gets the same upgrade with a lighter mechanism:
+:func:`run_units` wraps each module's index so calls resolve through
+the import map into the *global* signature table before falling back
+to same-module lookup (whole-program R010-R012).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.arrayflow import (
+    ArrayDataflowRule,
+    AxesEnv,
+    Signature,
+    _ArrayFunctionAnalysis,
+    _walk_functions,
+    is_hot_path,
+)
+from repro.analysis.callgraph import FunctionInfo, ModuleInfo, Program
+from repro.analysis.dataflow import (
+    AnalysisRuleInfo,
+    _FunctionAnalysis,
+    _ModuleIndex,
+)
+from repro.analysis.dataflow import Signature as UnitSignature
+from repro.analysis.shapelattice import (
+    Elem,
+    UNKNOWN,
+    broadcast,
+    broadcast_axes,
+    instance_elem,
+    join,
+)
+from repro.lint.rules import Finding
+
+#: Fixed-point iteration bound.  The axis lattice has height 2 per
+#: slot (concrete -> UNKNOWN), so summaries stabilise after the call
+#: graph's longest un-annotated chain; 4 rounds covers the tree with
+#: slack and the engine stops early on convergence anyway.
+MAX_ITERATIONS = 4
+
+
+def _join_opt(a: Optional[Elem], b: Elem) -> Elem:
+    return b if a is None else join(a, b)
+
+
+def _is_concrete(elem: Optional[Elem]) -> bool:
+    if elem is None:
+        return False
+    if elem.is_array:
+        return not elem.is_any_shape
+    return elem.is_instance or elem.is_scalar
+
+
+class Summaries:
+    """Per-function inferred facts, refined each fixed-point round."""
+
+    def __init__(self) -> None:
+        #: qualname -> inferred return element (declared returns are
+        #: looked up separately; only un-annotated returns live here).
+        self.returns: Dict[str, Elem] = {}
+        #: qualname -> per-parameter join of resolved call-site args.
+        self.params: Dict[str, Tuple[Optional[Elem], ...]] = {}
+
+
+class _InterprocAnalysis(_ArrayFunctionAnalysis):
+    """The per-function axis pass, upgraded with program resolution.
+
+    Differences from the base pass:
+
+    * call targets resolve through the program's import map (free
+      functions, constructors, ``mod.func`` attribute calls), so
+      arguments are checked against cross-module declared signatures
+      (R024) and declared/summarised return elements flow back;
+    * unannotated parameters are seeded from the call-site summary;
+    * returns are joined into the summary for the next round;
+    * contradictions whose evidence crossed a call boundary report as
+      R025 instead of R020.
+    """
+
+    def __init__(
+        self,
+        engine: "InterproceduralEngine",
+        info_module: ModuleInfo,
+        func: ast.AST,
+        emit: Callable[[Finding], None],
+        self_class: Optional[str],
+        qualname: Optional[str],
+        reporting: bool,
+    ) -> None:
+        super().__init__(
+            info_module.ctx,
+            info_module.axes_index,
+            func,
+            emit,
+            self_class=self_class,
+        )
+        self._engine = engine
+        self._module = info_module
+        self._qualname = qualname
+        self._reporting = reporting
+        self._cross_site = False
+        #: ids of Call nodes whose element came from a cross-module or
+        #: summary-inferred resolution — the R025 provenance mark.
+        self._summary_values: Set[int] = set()
+        self.inferred_return: Optional[Elem] = None
+
+    # -- environment seeding -------------------------------------------
+
+    def run(self) -> None:
+        env = AxesEnv()
+        env.update(self._index.scalar_names)
+        args = self._func.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if (
+            self._self_class is not None
+            and positional
+            and positional[0].arg == "self"
+        ):
+            env["self"] = instance_elem(self._self_class)
+        if positional and positional[0].arg in ("self", "cls"):
+            ordered = positional[1:] + list(args.kwonlyargs)
+        else:
+            ordered = positional + list(args.kwonlyargs)
+        seeded: Tuple[Optional[Elem], ...] = ()
+        if self._qualname is not None:
+            seeded = self._engine.summaries.params.get(self._qualname, ())
+        for position, arg in enumerate(ordered):
+            elem = self._index.annotation_elem(arg.annotation)
+            if elem is None and position < len(seeded):
+                candidate = seeded[position]
+                if _is_concrete(candidate):
+                    elem = candidate
+            if elem is not None:
+                env[arg.arg] = elem
+        self._walk_body(self._func.body, env)
+
+    # -- returns -------------------------------------------------------
+
+    def _walk_stmt(self, stmt: ast.stmt, env: AxesEnv) -> None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._note_return(UNKNOWN)
+                return
+            value = self._eval(stmt.value, env)
+            self._note_return(value)
+            declared = self._return_elem
+            if (
+                declared is not None
+                and declared.is_array
+                and not declared.is_any_shape
+                and value.is_array
+                and not value.is_any_shape
+                and broadcast_axes(declared.axes, value.axes) is None
+            ):
+                if id(stmt.value) in self._summary_values:
+                    self._report(
+                        stmt,
+                        "R025",
+                        f"return-shape contradiction: {value.format_axes()} "
+                        f"returned as {declared.format_axes()} — the value "
+                        "crossed a call boundary the per-function pass "
+                        "cannot see",
+                    )
+                else:
+                    self._report_pair(stmt, value, declared, "returned as")
+            return
+        super()._walk_stmt(stmt, env)
+
+    def _note_return(self, elem: Elem) -> None:
+        if self.inferred_return is None:
+            self.inferred_return = elem
+        else:
+            self.inferred_return = join(self.inferred_return, elem)
+
+    # -- call resolution -----------------------------------------------
+
+    def _eval_call(self, node: ast.Call, env: AxesEnv) -> Elem:
+        resolved = self._resolve_program_call(node.func, env)
+        if resolved is not None:
+            qualname, is_class, cross = resolved
+            args = [self._eval(a, env) for a in node.args]
+            kwargs: Dict[str, Elem] = {}
+            for kw in node.keywords:
+                if kw.arg:
+                    kwargs[kw.arg] = self._eval(kw.value, env)
+                else:
+                    self._eval(kw.value, env)
+            if is_class:
+                return self._apply_program_constructor(
+                    node, qualname, args, kwargs, cross
+                )
+            return self._apply_program_call(node, qualname, args, kwargs, cross)
+        return super()._eval_call(node, env)
+
+    def _resolve_program_call(
+        self, func: ast.expr, env: AxesEnv
+    ) -> Optional[Tuple[str, bool, bool]]:
+        """Resolve a call target to ``(qualname, is_class, cross)``.
+
+        Returns None for everything the base pass already handles well
+        (numpy, array methods, instance methods, local constructors,
+        scalar builtins) so behaviour degrades gracefully.
+        """
+        program = self._engine.program
+        if isinstance(func, ast.Name):
+            if func.id in self._index.numpy_names:
+                return None
+            target = program.resolve_name(self._module, func.id)
+            if target is None:
+                return None
+            if target in program.functions:
+                info = program.functions[target]
+                return target, False, info.module is not self._module
+            if target in program.classes:
+                cls_info = program.classes[target]
+                if cls_info.module is self._module:
+                    return None  # local constructor: base pass handles it
+                return target, True, True
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value
+            if base.id in self._index.numpy_names:
+                return None
+            if base.id in env and env[base.id] is not UNKNOWN:
+                return None  # typed receiver: base pass handles methods
+            target = self._module.imports.get(base.id)
+            if target is None:
+                return None
+            dotted = f"{target}.{func.attr}"
+            if dotted in program.functions:
+                info = program.functions[dotted]
+                return dotted, False, info.module is not self._module
+            if dotted in program.classes:
+                return dotted, True, True
+            if target in program.classes:
+                method = program.lookup_method(target, func.attr)
+                if method is not None:
+                    info = program.functions[method]
+                    return method, False, info.module is not self._module
+        return None
+
+    def _apply_program_call(
+        self,
+        node: ast.Call,
+        qualname: str,
+        args: List[Elem],
+        kwargs: Dict[str, Elem],
+        cross: bool,
+    ) -> Elem:
+        signature = self._engine.declared_signature(qualname)
+        params, declared_ret = signature
+        display = qualname if cross else qualname.rsplit(".", 1)[1]
+        self._cross_site = cross
+        try:
+            self._apply_signature(node, display, signature, args, kwargs)
+        finally:
+            self._cross_site = False
+        self._engine.record_call(qualname, args, kwargs)
+        ret = declared_ret
+        from_summary = False
+        if ret is None:
+            ret = self._engine.summaries.returns.get(qualname)
+            from_summary = ret is not None
+        if ret is None:
+            return UNKNOWN
+        if cross or from_summary:
+            self._summary_values.add(id(node))
+        return ret
+
+    def _apply_program_constructor(
+        self,
+        node: ast.Call,
+        qualname: str,
+        args: List[Elem],
+        kwargs: Dict[str, Elem],
+        cross: bool,
+    ) -> Elem:
+        program = self._engine.program
+        bare = qualname.rsplit(".", 1)[1]
+        owner = program.classes[qualname].module
+        spec = owner.axes_index.classes.get(bare)
+        local_name = bare
+        if isinstance(node.func, ast.Name):
+            local_name = node.func.id
+        if spec is not None:
+            self._cross_site = cross
+            try:
+                init = spec.methods.get("__init__")
+                if init is not None:
+                    self._apply_signature(node, qualname, init, args, kwargs)
+                else:
+                    self._check_constructor(node, qualname, spec, args, kwargs)
+            finally:
+                self._cross_site = False
+        if cross:
+            self._summary_values.add(id(node))
+        return instance_elem(local_name)
+
+    # -- tagged reporting ----------------------------------------------
+
+    def _check_argument(
+        self,
+        arg_node: ast.expr,
+        param: Tuple[str, Optional[Elem]],
+        elem: Elem,
+        func_name: Optional[str],
+    ) -> None:
+        if not self._cross_site:
+            super()._check_argument(arg_node, param, elem, func_name)
+            return
+        param_name, expected = param
+        if expected is None or not expected.is_array or expected.is_any_shape:
+            return
+        if not elem.is_array or elem.is_any_shape:
+            return
+        if broadcast_axes(expected.axes, elem.axes) is not None:
+            return
+        self._report(
+            arg_node,
+            "R024",
+            f"call across a module boundary: argument '{param_name}' of "
+            f"{func_name or '<call>'}() expects axes "
+            f"{expected.format_axes()} but receives {elem.format_axes()} "
+            "(signature resolved through the call graph; the per-function "
+            "pass cannot see it)",
+        )
+
+    def _report_pair(
+        self, node: ast.AST, got: Elem, expected: Elem, verb: str
+    ) -> None:
+        value = getattr(node, "value", None)
+        if value is not None and id(value) in self._summary_values:
+            self._report(
+                node,
+                "R025",
+                f"return-shape contradiction: {got.format_axes()} {verb} "
+                f"{expected.format_axes()} — the value crossed a call "
+                "boundary the per-function pass cannot see",
+            )
+            return
+        super()._report_pair(node, got, expected, verb)
+
+    def _combine(self, node: ast.AST, left: Elem, right: Elem) -> Elem:
+        result, mismatch = broadcast(left, right)
+        if mismatch is not None:
+            a, b = mismatch
+            if self._summary_operand(node):
+                self._report(
+                    node,
+                    "R025",
+                    f"incompatible broadcast: {a.format_axes()} with "
+                    f"{b.format_axes()} — one operand is a return value "
+                    "resolved through the call graph, invisible to the "
+                    "per-function pass",
+                )
+            else:
+                self._report(
+                    node,
+                    "R020",
+                    f"incompatible broadcast: {a.format_axes()} with "
+                    f"{b.format_axes()} (no axis alignment exists; a "
+                    "transposed operand broadcasts silently when runtime "
+                    "sizes coincide)",
+                )
+        return result
+
+    def _summary_operand(self, node: ast.AST) -> bool:
+        for attr in ("left", "right", "value"):
+            child = getattr(node, attr, None)
+            if child is not None and id(child) in self._summary_values:
+                return True
+        for child in getattr(node, "comparators", None) or ():
+            if id(child) in self._summary_values:
+                return True
+        return False
+
+    def _report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        if not self._reporting:
+            return
+        super()._report(node, rule_id, message)
+
+
+class InterproceduralEngine:
+    """Whole-program axis analysis: summaries, fixed point, reporting."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries = Summaries()
+        self._pending_params: Dict[str, List[Optional[Elem]]] = {}
+        self._declared: Dict[str, Signature] = {}
+        for qualname, info in program.functions.items():
+            self._declared[qualname] = info.module.axes_index._signature_of(
+                info.node
+            )
+        self._inject_imported_classes()
+        self._augment_attr_specs()
+        self._info_by_node: Dict[int, FunctionInfo] = {
+            id(info.node): info for info in program.functions.values()
+        }
+
+    # -- program-index preparation -------------------------------------
+
+    def _inject_imported_classes(self) -> None:
+        """Make imported classes resolvable under their local alias, so
+        constructor calls and instance attribute reads cross modules."""
+        for module in self.program.modules.values():
+            for local, target in module.imports.items():
+                cls_info = self.program.classes.get(target)
+                if cls_info is None:
+                    continue
+                bare = target.rsplit(".", 1)[1]
+                spec = cls_info.module.axes_index.classes.get(bare)
+                if spec is not None and local not in module.axes_index.classes:
+                    module.axes_index.classes[local] = spec
+
+    def _augment_attr_specs(self) -> None:
+        """Record ``self.x = Class(...)`` and ``self.x: Alias = ...``
+        facts from ``__init__`` into each class's spec, so method calls
+        through composed objects resolve without annotations."""
+        for cls_info in self.program.classes.values():
+            module = cls_info.module
+            bare = cls_info.qualname.rsplit(".", 1)[1]
+            spec = module.axes_index.classes.get(bare)
+            init = cls_info.methods.get("__init__")
+            if spec is None or init is None:
+                continue
+            for node in ast.walk(init.node):
+                target: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                else:
+                    continue
+                if (
+                    not isinstance(target, ast.Attribute)
+                    or not isinstance(target.value, ast.Name)
+                    or target.value.id != "self"
+                    or target.attr in spec.attrs
+                ):
+                    continue
+                if isinstance(node, ast.AnnAssign):
+                    elem = module.axes_index.annotation_elem(node.annotation)
+                    if elem is not None:
+                        spec.attrs[target.attr] = elem
+                    continue
+                attr_cls = cls_info.attr_classes.get(target.attr)
+                if attr_cls is not None:
+                    spec.attrs[target.attr] = instance_elem(
+                        attr_cls.rsplit(".", 1)[1]
+                    )
+
+    # -- summary bookkeeping -------------------------------------------
+
+    def declared_signature(self, qualname: str) -> Signature:
+        return self._declared[qualname]
+
+    def record_call(
+        self, qualname: str, args: List[Elem], kwargs: Dict[str, Elem]
+    ) -> None:
+        params, _ = self._declared[qualname]
+        slots = self._pending_params.setdefault(
+            qualname, [None] * len(params)
+        )
+        for position, elem in enumerate(args):
+            if position < len(slots):
+                slots[position] = _join_opt(slots[position], elem)
+        by_name = {name: i for i, (name, _) in enumerate(params)}
+        for name, elem in kwargs.items():
+            position = by_name.get(name)
+            if position is not None:
+                slots[position] = _join_opt(slots[position], elem)
+
+    # -- fixed point ---------------------------------------------------
+
+    def solve(self, max_iterations: int = MAX_ITERATIONS) -> int:
+        """Iterate summary passes until convergence; returns rounds."""
+        rounds = 0
+        for _ in range(max_iterations):
+            rounds += 1
+            self._pending_params = {}
+            pending_returns: Dict[str, Elem] = {}
+            for qualname, info in self.program.functions.items():
+                analysis = self._analysis(info, reporting=False)
+                analysis.run()
+                _, declared_ret = self._declared[qualname]
+                ret = analysis.inferred_return
+                if declared_ret is None and _is_concrete(ret):
+                    assert ret is not None
+                    pending_returns[qualname] = ret
+            new_params = {
+                qual: tuple(slots)
+                for qual, slots in self._pending_params.items()
+            }
+            changed = (
+                new_params != self.summaries.params
+                or pending_returns != self.summaries.returns
+            )
+            self.summaries.params = new_params
+            self.summaries.returns = pending_returns
+            self._refresh_method_specs()
+            if not changed:
+                break
+        return rounds
+
+    def _refresh_method_specs(self) -> None:
+        """Push inferred method returns into the class specs so
+        ``obj.method()`` receiver calls see them too."""
+        for qualname, ret in self.summaries.returns.items():
+            info = self.program.functions.get(qualname)
+            if info is None or info.class_name is None:
+                continue
+            spec = info.module.axes_index.classes.get(info.class_name)
+            if spec is None:
+                continue
+            params, declared_ret = self._declared[qualname]
+            if declared_ret is not None:
+                continue
+            name = qualname.rsplit(".", 1)[1]
+            if name == "__init__":
+                continue
+            spec.methods[name] = (params, ret)
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self) -> List[Finding]:
+        """The final, finding-emitting pass over every function."""
+        findings: List[Finding] = []
+        for module in self.program.modules.values():
+            hot = is_hot_path(module.ctx.display_path) and not module.ctx.is_test
+            for func, cls in _walk_functions(module.tree):
+                if hot:
+                    ArrayDataflowRule._check_bare_params(
+                        module.ctx, module.axes_index, func, findings.append
+                    )
+                info = self._info_by_node.get(id(func))
+                analysis = _InterprocAnalysis(
+                    self,
+                    module,
+                    func,
+                    findings.append,
+                    self_class=(
+                        info.class_name if info is not None else cls
+                    ),
+                    qualname=info.qualname if info is not None else None,
+                    reporting=True,
+                )
+                analysis.run()
+        return findings
+
+    def _analysis(
+        self, info: FunctionInfo, reporting: bool
+    ) -> _InterprocAnalysis:
+        return _InterprocAnalysis(
+            self,
+            info.module,
+            info.node,
+            lambda finding: None,
+            self_class=info.class_name,
+            qualname=info.qualname,
+            reporting=reporting,
+        )
+
+
+def run_axes(program: Program) -> List[Finding]:
+    """Whole-program axis/shape analysis: solve then report."""
+    engine = InterproceduralEngine(program)
+    engine.solve()
+    return engine.report()
+
+
+# -- whole-program units ----------------------------------------------
+
+
+class _ProgramUnitIndex:
+    """A module's unit index, falling back to the global signature
+    table through the import map (whole-program R010-R012)."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        program: Program,
+        global_signatures: Dict[str, UnitSignature],
+    ) -> None:
+        self._module = module
+        self._inner = module.unit_index
+        self._program = program
+        self._global = global_signatures
+
+    def annotation_unit(self, node: Optional[ast.expr]):
+        return self._inner.annotation_unit(node)
+
+    def lookup_call(self, func: ast.expr) -> Optional[UnitSignature]:
+        signature = self._inner.lookup_call(func)
+        if signature is not None:
+            return signature
+        qualname: Optional[str] = None
+        if isinstance(func, ast.Name):
+            qualname = self._program.resolve_name(self._module, func.id)
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = self._module.imports.get(func.value.id)
+            if base is not None:
+                qualname = f"{base}.{func.attr}"
+        if qualname is None:
+            return None
+        return self._global.get(qualname)
+
+
+def _global_unit_signatures(program: Program) -> Dict[str, UnitSignature]:
+    table: Dict[str, UnitSignature] = {}
+    for module in program.modules.values():
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                signature = module.unit_index._signature_of(stmt)
+                params, ret = signature
+                if ret is not None or any(u is not None for _, u in params):
+                    table[f"{module.name}.{stmt.name}"] = signature
+    return table
+
+
+def run_units(program: Program) -> List[Finding]:
+    """Whole-program units/dimension analysis (R010-R012)."""
+    findings: List[Finding] = []
+    table = _global_unit_signatures(program)
+    for module in program.modules.values():
+        index = _ProgramUnitIndex(module, program, table)
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _FunctionAnalysis(
+                    module.ctx, index, node, findings.append  # type: ignore[arg-type]
+                ).run()
+    return findings
+
+
+# -- catalogue ---------------------------------------------------------
+
+INTERPROC_RULES: Dict[str, AnalysisRuleInfo] = {
+    "R024": AnalysisRuleInfo(
+        "R024",
+        "no axis mismatch at call sites resolved across module boundaries",
+        """\
+The per-function axis pass (R020) checks arguments only against
+signatures declared *in the same file*, so the exact seam where
+control/ hands (N,)/(L,M) arrays to solvers/ and phy/ is unchecked: a
+transposed (M, L) matrix passed to a callee declared (L, M) in another
+module broadcasts silently whenever the runtime sizes coincide.
+
+The interprocedural engine resolves every call through the program
+import map (free functions, constructors, mod.func attribute calls,
+Class.method) and checks argument elements against the callee's
+declared repro.axes signature, wherever it lives.  A mismatch at a
+cross-module call site is R024 — by construction invisible to the
+per-function pass.
+
+Fix: realign the argument (transpose explicitly, reorder axes) or
+correct the callee's annotation.  Intentional duck-shape calls carry
+`# noqa: R024` with a justification.
+""",
+    ),
+    "R025": AnalysisRuleInfo(
+        "R025",
+        "no return-shape contradictions across call boundaries",
+        """\
+When an un-annotated helper's return shape is inferred through the
+call graph (a summary), a contradiction between that inferred shape
+and a declared annotation in the caller — `x: NodeVec = helper()`
+where every return path of helper() yields (L, M), or a broadcast
+whose other operand the summary proves incompatible — only exists
+interprocedurally: each function in isolation looks fine.
+
+The engine propagates return elements to a fixed point and reports
+R025 wherever a summary-resolved value contradicts a declared
+annotation at an assignment, return statement or broadcast site.
+
+Fix: correct whichever side is wrong — the caller's annotation, the
+callee's return, or insert the explicit realignment.  If the helper is
+genuinely shape-polymorphic, annotate its return AnyArray to silence
+the inference.
+""",
+    ),
+}

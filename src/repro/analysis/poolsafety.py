@@ -1,0 +1,462 @@
+"""Process-pool safety rules over the call graph (R050-R052).
+
+The sweep executor promises bit-identical results whether a grid runs
+serially or across a ``ProcessPoolExecutor`` — the property the
+serial-vs-parallel equivalence suite pins.  That contract survives
+only while worker-reachable code is fork-safe:
+
+* **R050** — a worker-reachable function mutates a module-level
+  global (``global`` + store, ``CACHE.append(...)``,
+  ``TABLE[key] = ...``).  Each fork gets a private copy, so the
+  mutation silently diverges between serial and parallel runs;
+* **R051** — a pool submit site passes a lambda, a nested function,
+  a file/lock handle, or a module-level mutable: the first two fail
+  to pickle, the latter two smuggle shared state across the fork;
+* **R052** — fork-visible RNG state touched outside ``RngStreams``:
+  a module-level generator, worker-reachable ``np.random.seed`` /
+  ``set_state`` / stdlib ``random.seed``, or worker draws from a
+  module-level generator.  Children inherit the parent's RNG state,
+  so streams collide and replication determinism breaks.
+
+Worker reachability is seeded from the executor's job entry point
+plus the first argument of any ``.submit``/``.map``-style call the
+call-graph builder sees.  ``sim/rng.py`` is exempt from R052 — it is
+the one sanctioned home of generator construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import (
+    WORKER_ROOTS,
+    _POOL_SUBMIT_METHODS,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+)
+from repro.analysis.dataflow import AnalysisRuleInfo
+from repro.lint.rules import Finding
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "remove", "discard",
+        "clear", "pop", "popitem", "setdefault", "update", "sort",
+        "reverse",
+    }
+)
+#: Constructors whose results are module-level mutable containers.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict",
+     "Counter", "OrderedDict"}
+)
+#: Factories producing objects that do not survive pickling.
+UNPICKLABLE_FACTORIES = frozenset(
+    {"open", "Lock", "RLock", "Condition", "Semaphore",
+     "BoundedSemaphore", "Event", "Barrier", "socket", "connect",
+     "Popen"}
+)
+#: Constructors that create a fork-visible random generator.
+RNG_CONSTRUCTORS = frozenset(
+    {"default_rng", "RandomState", "Generator", "PCG64", "Philox",
+     "MT19937", "SFC64"}
+)
+#: Dotted suffixes that reseed or export global RNG state.
+_GLOBAL_RNG_CALLS = (
+    "random.seed", "random.set_state", "random.get_state",
+    "random.setstate", "random.getstate",
+)
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _final_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def module_level_mutables(module: ModuleInfo) -> Dict[str, int]:
+    """Module-level names bound to mutable containers, name -> lineno."""
+    out: Dict[str, int] = {}
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        mutable = isinstance(
+            value,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.SetComp,
+             ast.DictComp),
+        )
+        if not mutable and isinstance(value, ast.Call):
+            mutable = _final_name(value.func) in _MUTABLE_FACTORIES
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt.lineno
+    return out
+
+
+def module_level_rngs(module: ModuleInfo) -> Dict[str, ast.Assign]:
+    """Module-level names bound to an RNG constructor call."""
+    out: Dict[str, ast.Assign] = {}
+    for stmt in module.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not isinstance(stmt.value, ast.Call):
+            continue
+        if _final_name(stmt.value.func) not in RNG_CONSTRUCTORS:
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = stmt
+    return out
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Names bound locally in ``func`` (params, stores), so module
+    globals of the same name are shadowed."""
+    names: Set[str] = set()
+    args = func.args  # type: ignore[attr-defined]
+    for group in (args.posonlyargs, args.args, args.kwonlyargs):
+        names.update(a.arg for a in group)
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.add(extra.arg)
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    return names - declared_global
+
+
+def check_pool_safety(
+    program: Program, roots: Sequence[str] = WORKER_ROOTS
+) -> List[Finding]:
+    """Run R050/R051/R052 over the program."""
+    findings: List[Finding] = []
+    worker = program.worker_functions(roots)
+    worker_infos = [
+        program.functions[qual]
+        for qual in sorted(worker)
+        if qual in program.functions
+    ]
+    mutables: Dict[str, Dict[str, int]] = {}
+    rngs: Dict[str, Dict[str, ast.Assign]] = {}
+    for name, module in program.modules.items():
+        mutables[name] = module_level_mutables(module)
+        rngs[name] = module_level_rngs(module)
+
+    for info in worker_infos:
+        if not info.module.ctx.is_library:
+            continue
+        findings.extend(_check_r050(info, mutables[info.module.name]))
+        findings.extend(
+            _check_r052_worker(info, rngs[info.module.name])
+        )
+    for name, module in program.modules.items():
+        if not module.ctx.is_library:
+            continue
+        findings.extend(_check_r051(module, mutables[name]))
+        findings.extend(_check_r052_module(module, rngs[name]))
+    return findings
+
+
+def _check_r050(
+    info: FunctionInfo, mutables: Dict[str, int]
+) -> Iterator[Finding]:
+    ctx = info.module.ctx
+    func = info.node
+    declared_global: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    locals_ = _local_names(func)
+    shared = {name for name in mutables if name not in locals_}
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Store)
+            and node.id in declared_global
+        ):
+            finding = ctx.finding(
+                node,
+                "R050",
+                f"worker-reachable {info.qualname}() rebinds module global "
+                f"'{node.id}': each forked worker mutates a private copy, "
+                "so serial and parallel sweeps diverge silently; pass "
+                "state through the job payload instead",
+            )
+            if finding is not None:
+                yield finding
+        elif isinstance(node, ast.Call):
+            func_expr = node.func
+            if (
+                isinstance(func_expr, ast.Attribute)
+                and isinstance(func_expr.value, ast.Name)
+                and func_expr.value.id in shared
+                and func_expr.attr in MUTATING_METHODS
+            ):
+                finding = ctx.finding(
+                    node,
+                    "R050",
+                    f"worker-reachable {info.qualname}() mutates "
+                    f"module-level '{func_expr.value.id}' via "
+                    f".{func_expr.attr}(): the mutation lands in the "
+                    "worker's fork copy and is lost (or worse, kept only "
+                    "in serial runs); thread results through return values",
+                )
+                if finding is not None:
+                    yield finding
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in shared
+                ):
+                    finding = ctx.finding(
+                        target,
+                        "R050",
+                        f"worker-reachable {info.qualname}() assigns into "
+                        f"module-level '{target.value.id}[...]': "
+                        "fork-copied state diverges between serial and "
+                        "parallel execution; return the value and merge in "
+                        "the parent",
+                    )
+                    if finding is not None:
+                        yield finding
+
+
+def _check_r051(
+    module: ModuleInfo, mutables: Dict[str, int]
+) -> Iterator[Finding]:
+    ctx = module.ctx
+    for func, _cls in _iter_functions(module.tree):
+        nested = {
+            sub.name
+            for sub in ast.walk(func)
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and sub is not func
+        }
+        handles: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                if _final_name(node.value.func) in UNPICKLABLE_FACTORIES:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            handles.add(target.id)
+            elif isinstance(node, ast.withitem) and isinstance(
+                node.context_expr, ast.Call
+            ):
+                if (
+                    _final_name(node.context_expr.func) in UNPICKLABLE_FACTORIES
+                    and node.optional_vars is not None
+                    and isinstance(node.optional_vars, ast.Name)
+                ):
+                    handles.add(node.optional_vars.id)
+        locals_ = _local_names(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if (
+                not isinstance(callee, ast.Attribute)
+                or callee.attr not in _POOL_SUBMIT_METHODS
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    reason = "a lambda, which cannot be pickled"
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    reason = (
+                        f"nested function '{arg.id}', which cannot be "
+                        "pickled (move it to module level)"
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in handles:
+                    reason = (
+                        f"'{arg.id}', a file/lock-style handle that does "
+                        "not survive pickling"
+                    )
+                elif (
+                    isinstance(arg, ast.Name)
+                    and arg.id in mutables
+                    and arg.id not in locals_
+                ):
+                    reason = (
+                        f"module-level mutable '{arg.id}': each worker "
+                        "gets an independent fork copy, so shared-state "
+                        "updates silently diverge"
+                    )
+                else:
+                    continue
+                finding = ctx.finding(
+                    arg,
+                    "R051",
+                    f"pool .{callee.attr}(...) captures {reason}; pass "
+                    "plain picklable data and rebuild resources inside "
+                    "the worker",
+                )
+                if finding is not None:
+                    yield finding
+
+
+def _check_r052_module(
+    module: ModuleInfo, rngs: Dict[str, ast.Assign]
+) -> Iterator[Finding]:
+    ctx = module.ctx
+    if ctx.is_rng_module:
+        return
+    for name, stmt in sorted(rngs.items()):
+        finding = ctx.finding(
+            stmt,
+            "R052",
+            f"module-level RNG '{name}' created outside RngStreams: forked "
+            "workers inherit its state, so parallel replications draw "
+            "correlated streams; construct generators per replication via "
+            "repro.sim.rng.RngStreams",
+        )
+        if finding is not None:
+            yield finding
+
+
+def _check_r052_worker(
+    info: FunctionInfo, rngs: Dict[str, ast.Assign]
+) -> Iterator[Finding]:
+    ctx = info.module.ctx
+    if ctx.is_rng_module:
+        return
+    locals_ = _local_names(info.node)
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is not None and (
+            dotted in _GLOBAL_RNG_CALLS
+            or any(dotted.endswith("." + s) for s in _GLOBAL_RNG_CALLS)
+        ):
+            finding = ctx.finding(
+                node,
+                "R052",
+                f"worker-reachable {info.qualname}() touches global RNG "
+                f"state via {dotted}(): reseeding or exporting the shared "
+                "generator inside a forked worker breaks the bit-identity "
+                "contract; draw from the job's RngStreams instead",
+            )
+            if finding is not None:
+                yield finding
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in rngs
+            and node.func.value.id not in locals_
+        ):
+            finding = ctx.finding(
+                node,
+                "R052",
+                f"worker-reachable {info.qualname}() draws from "
+                f"module-level RNG '{node.func.value.id}': every forked "
+                "worker starts from the same inherited state, so streams "
+                "collide across replications; use RngStreams",
+            )
+            if finding is not None:
+                yield finding
+
+
+def _iter_functions(tree: ast.Module) -> Iterator[Tuple[ast.AST, Optional[str]]]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item, node.name
+
+
+# -- catalogue ---------------------------------------------------------
+
+POOL_RULES: Dict[str, AnalysisRuleInfo] = {
+    "R050": AnalysisRuleInfo(
+        "R050",
+        "no worker-reachable mutation of module globals",
+        """\
+The sweep executor promises bit-identical output whether a grid runs
+serially or across a ProcessPoolExecutor.  A worker-reachable function
+that mutates module-level state — `global` plus a store, CACHE.append,
+TABLE[key] = value — writes into the fork's private copy: serial runs
+accumulate the mutation, parallel runs silently drop it (or each
+worker accumulates its own), and the equivalence suite's contract is
+broken in a way no single-process test can see.
+
+The analyzer seeds worker reachability from the executor job entry
+point plus the first argument of every .submit/.map-style call, then
+flags mutations of unshadowed module-level names inside that cone.
+
+Fix: thread state through the job payload and return values; merge in
+the parent process.
+""",
+    ),
+    "R051": AnalysisRuleInfo(
+        "R051",
+        "no unpicklable or shared-mutable captures at pool submit sites",
+        """\
+Arguments to .submit/.map/.apply_async must round-trip through pickle
+and must not alias parent state.  A lambda or nested function fails at
+submit time (often only on spawn-start platforms, so CI on Linux
+passes while macOS breaks); an open file or lock handle pickles to a
+dead object; a module-level mutable (a cache dict, a list of results)
+arrives as a fork copy whose mutations never return to the parent.
+
+The analyzer inspects every pool submit call site in the library and
+flags lambdas, functions defined inside the enclosing function,
+locally-created file/lock-style handles, and module-level mutable
+containers passed as arguments.
+
+Fix: submit a module-level function with plain picklable data, and
+open resources inside the worker.
+""",
+    ),
+    "R052": AnalysisRuleInfo(
+        "R052",
+        "no fork-visible RNG state outside RngStreams",
+        """\
+Replication determinism rests on RngStreams deriving one child
+generator per (replication, stream) from the root SeedSequence.  Any
+other generator that exists at fork time — a module-level
+default_rng()/RandomState(), a worker-reachable np.random.seed or
+random.seed, worker draws from a module-level generator — is
+inherited identically by every forked worker, so "independent"
+replications draw the same numbers and the serial-vs-parallel
+equivalence quietly becomes a lie.
+
+The analyzer flags module-level RNG constructor assignments outside
+sim/rng.py, worker-reachable calls that reseed or export global RNG
+state, and worker-reachable draws from module-level generators.
+
+Fix: accept a Generator argument plumbed from RngStreams; never
+construct or reseed generators in library code outside sim/rng.py.
+""",
+    ),
+}

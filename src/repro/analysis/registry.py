@@ -4,8 +4,11 @@ One lookup table across all four checker families:
 
 * ``R001``-``R006`` — the AST lint rules (``repro.lint``);
 * ``R010``-``R012`` — the units/dimension dataflow analysis;
-* ``R020``-``R023`` — the array axis/shape dataflow analysis;
+* ``R020``-``R025`` — the array axis/shape dataflow analysis
+  (R024/R025 come from the interprocedural pass);
 * ``R030``-``R032`` — the determinism rules;
+* ``R040``-``R042`` — the hot-path complexity/allocation rules;
+* ``R050``-``R052`` — the process-pool safety rules;
 * ``EQ001``-``EQ003`` — the paper-equation coverage audit.
 
 The registry backs ``python -m repro.analysis --explain`` and the
@@ -22,6 +25,9 @@ from repro.analysis.arrayflow import ARRAY_RULES
 from repro.analysis.dataflow import ANALYSIS_RULES, AnalysisRuleInfo
 from repro.analysis.determinism import DETERMINISM_RULES
 from repro.analysis.equations import EQUATION_RULES
+from repro.analysis.hotpath import HOTPATH_RULES
+from repro.analysis.interproc import INTERPROC_RULES
+from repro.analysis.poolsafety import POOL_RULES
 from repro.lint.rules import ALL_RULES
 
 
@@ -31,7 +37,14 @@ def _build() -> Dict[str, AnalysisRuleInfo]:
         registry[rule.rule_id] = AnalysisRuleInfo(
             rule.rule_id, rule.title, rule.explain
         )
-    for family in (ANALYSIS_RULES, ARRAY_RULES, DETERMINISM_RULES):
+    for family in (
+        ANALYSIS_RULES,
+        ARRAY_RULES,
+        INTERPROC_RULES,
+        DETERMINISM_RULES,
+        HOTPATH_RULES,
+        POOL_RULES,
+    ):
         registry.update(family)
     for eq_id, (title, explain) in EQUATION_RULES.items():
         registry[eq_id] = AnalysisRuleInfo(eq_id, title, explain)
@@ -47,7 +60,15 @@ ALL_RULE_IDS: Tuple[str, ...] = tuple(
 )
 
 #: The ids emitted by ``python -m repro.analysis`` (no --equations):
-#: both dataflow families plus the determinism rules.
+#: both dataflow families (with their interprocedural extensions),
+#: the determinism rules, and the call-graph rule families.
 ANALYZER_RULE_IDS: Tuple[str, ...] = tuple(
-    sorted(set(ANALYSIS_RULES) | set(ARRAY_RULES) | set(DETERMINISM_RULES))
+    sorted(
+        set(ANALYSIS_RULES)
+        | set(ARRAY_RULES)
+        | set(INTERPROC_RULES)
+        | set(DETERMINISM_RULES)
+        | set(HOTPATH_RULES)
+        | set(POOL_RULES)
+    )
 )

@@ -269,7 +269,7 @@ class ContractChecker:
         if not self.enabled:
             return
         bs_set = set(model.bs_ids)
-        k_max = {s.session_id: s.k_max for s in model.sessions}
+        k_max = {s.session_id: s.k_max for s in model.sessions}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
         for session, source in admission.sources.items():
             if source not in bs_set:
                 self._violate(

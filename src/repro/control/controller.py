@@ -113,7 +113,7 @@ class DriftPlusPenaltyController:
         bs_set = set(self._model.bs_ids)
         return {
             node: (price if node in bs_set else 0.0)
-            for node in range(self._model.num_nodes)
+            for node in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
         }
 
     def _compute_allowed_links(self) -> Optional[Dict[Link, bool]]:
@@ -162,10 +162,10 @@ class DriftPlusPenaltyController:
         ``last_deficit_j``.
         """
         params = self._model.params
-        node_params = {n.node_id: n.radio for n in self._model.nodes}
+        node_params = {n.node_id: n.radio for n in self._model.nodes}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
         supply = {
             n: self._max_supply_j(n, observation, state)
-            for n in range(self._model.num_nodes)
+            for n in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
         }
         self.last_deficit_j = {}
 
@@ -252,7 +252,7 @@ class DriftPlusPenaltyController:
         z_values = state.z_values()
         inputs: List[NodeEnergyInputs] = []
         bs_set: Set[NodeId] = set(self._model.bs_ids)
-        for node_obj in self._model.nodes:
+        for node_obj in self._model.nodes:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             node = node_obj.node_id
             battery = state.batteries[node]
             connected = observation.grid_connected[node]

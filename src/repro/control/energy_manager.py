@@ -444,7 +444,7 @@ class EnergyManager:
         stations = [n for n in inputs if n.is_base_station]
 
         allocations: Dict[NodeId, NodeEnergyAllocation] = {}
-        for node_inputs in users:
+        for node_inputs in users:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             allocations[node_inputs.node], _ = _node_response(
                 node_inputs, 0.0, self._v, self._exact_drift
             )

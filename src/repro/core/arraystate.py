@@ -257,8 +257,8 @@ class ArrayState:
             (link[1] for link in links), dtype=np.intp, count=len(links)
         )
 
-        self.q = np.zeros((num_nodes, len(sessions)))
-        valid = np.ones((num_nodes, len(sessions)), dtype=bool)
+        self.q = np.zeros((num_nodes, len(sessions)))  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
+        valid = np.ones((num_nodes, len(sessions)), dtype=bool)  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
         for sid, dest in destinations.items():
             if 0 <= dest < num_nodes:
                 valid[dest, self.session_col[sid]] = False
@@ -305,8 +305,8 @@ class ArrayState:
         if not self._q_keys and self.q_valid.any():
             keys = []
             pos: Dict[QueueKey, Tuple[int, int]] = {}
-            for row in range(self.num_nodes):
-                for col, sid in enumerate(self.sessions):
+            for row in range(self.num_nodes):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+                for col, sid in enumerate(self.sessions):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
                     if self.q_valid[row, col]:
                         keys.append((row, sid))
                         pos[(row, sid)] = (row, col)

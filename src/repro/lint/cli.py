@@ -2,14 +2,17 @@
 
 Usage::
 
-    python -m repro.lint [PATH ...] [--select R001,R005] [--explain [RULE]]
-                         [--format text|json|github]
+    python -m repro.lint [PATH ...] [--select R001,R005] [--ignore R006]
+                         [--explain [RULE]]
+                         [--format text|json|github|sarif] [--no-cache]
 
 Paths may be files or directories; directories are walked recursively
 for ``*.py``, skipping VCS/build/cache trees.  Findings print as
-``path:line:col: R00X message`` and the exit status is 1 when any
-finding (or unparsable file) is reported, 0 otherwise — so the command
-slots directly into ``scripts/check.sh`` and CI.
+``path:line:col: R00X message``.  Exit status: 0 clean, 1 findings
+(or unparsable files), 2 internal/usage error — so the command slots
+directly into ``scripts/check.sh``, pre-commit and CI.  Per-file
+results are memoized under ``.cache/analysis/`` keyed by content
+hash, so unchanged files are never re-linted (``--no-cache`` bypasses).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
 
+from repro.lint.cache import DEFAULT_CACHE_DIR, FindingsCache, content_digest
 from repro.lint.emitter import FORMATS, emit
 from repro.lint.rules import ALL_RULES, RULES_BY_ID, FileContext, Finding, Rule
 
@@ -106,6 +110,52 @@ def lint_paths(paths: Sequence[str], rules: Sequence[Rule]) -> Iterator[Finding]
             )
 
 
+def _lint_paths_cached(
+    paths: Sequence[str], rules: Sequence[Rule], use_cache: bool
+) -> Iterator[Finding]:
+    """Like :func:`lint_paths`, memoizing per-file results on disk.
+
+    Every lint rule is per-file, so each file's findings depend only
+    on its own content and the selected rule set — the cache key is
+    exactly (rule ids, display path, content hash), and editing one
+    module re-lints only that module.
+    """
+    if not use_cache:
+        yield from lint_paths(paths, rules)
+        return
+    spec = ",".join(sorted(rule.rule_id for rule in rules))
+    cache = FindingsCache(DEFAULT_CACHE_DIR, "repro.lint", spec)
+    for path in discover_files(paths):
+        display = str(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            yield from lint_paths([display], rules)
+            continue
+        key = cache.key([(display, content_digest(source))])
+        cached = cache.load(key)
+        if cached is not None:
+            yield from cached
+            continue
+        try:
+            findings = sorted(
+                lint_source(source, display, rules, path=path),
+                key=lambda f: (f.line, f.col, f.rule_id),
+            )
+        except SyntaxError as exc:
+            findings = [
+                Finding(
+                    path=display,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    rule_id="E999",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        cache.store(key, findings)
+        yield from findings
+
+
 def _explain(rule_id: Optional[str]) -> int:
     """Print the rule catalogue (or one rule's full rationale)."""
     if rule_id is None:
@@ -124,27 +174,39 @@ def _explain(rule_id: Optional[str]) -> int:
     return 0
 
 
-def _select_rules(select: Optional[str]) -> List[Rule]:
-    """Resolve ``--select R001,R002`` into rule instances."""
-    if select is None:
-        return list(ALL_RULES)
-    chosen: List[Rule] = []
-    for token in select.split(","):
+def _parse_ids(spec: Optional[str], option: str) -> Optional[List[str]]:
+    """Validate a comma-separated id list against the catalogue."""
+    if spec is None:
+        return None
+    ids: List[str] = []
+    for token in spec.split(","):
         token = token.strip().upper()
         if not token:
             continue
-        rule = RULES_BY_ID.get(token)
-        if rule is None:
-            raise SystemExit(f"repro.lint: unknown rule id in --select: {token}")
-        chosen.append(rule)
-    return chosen
+        if token not in RULES_BY_ID:
+            print(f"repro.lint: unknown rule id in {option}: {token}", file=sys.stderr)
+            raise SystemExit(2)
+        ids.append(token)
+    return ids
+
+
+def _select_rules(select: Optional[str], ignore: Optional[str] = None) -> List[Rule]:
+    """Resolve ``--select``/``--ignore`` into rule instances."""
+    chosen_ids = _parse_ids(select, "--select")
+    ignored_ids = set(_parse_ids(ignore, "--ignore") or ())
+    if chosen_ids is None:
+        chosen = list(ALL_RULES)
+    else:
+        chosen = [RULES_BY_ID[rid] for rid in chosen_ids]
+    return [rule for rule in chosen if rule.rule_id not in ignored_ids]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status.
 
-    Tolerates a downstream pipe closing early (``... | head``) by
-    exiting 141 (128 + SIGPIPE) instead of tracebacking.
+    0 clean, 1 findings, 2 internal or usage error.  Tolerates a
+    downstream pipe closing early (``... | head``) by exiting 141
+    (128 + SIGPIPE) instead of tracebacking.
     """
     try:
         return _run(argv)
@@ -152,6 +214,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 141
+    except SystemExit:
+        raise
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"repro.lint: internal error: {exc!r}", file=sys.stderr)
+        return 2
 
 
 def _run(argv: Optional[Sequence[str]] = None) -> int:
@@ -179,12 +246,23 @@ def _run(argv: Optional[Sequence[str]] = None) -> int:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip (complement of --select)",
+    )
+    parser.add_argument(
         "--format",
         dest="output_format",
         choices=FORMATS,
         default="text",
-        help="output encoding: text lines, a json object, or GitHub "
-        "Actions ::error annotations",
+        help="output encoding: text lines, a json object, GitHub "
+        "Actions ::error annotations, or a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the .cache/analysis/ per-file findings cache",
     )
     args = parser.parse_args(argv)
 
@@ -192,13 +270,20 @@ def _run(argv: Optional[Sequence[str]] = None) -> int:
         return _explain(args.explain or None)
 
     paths = args.paths or ["src", "tests", "benchmarks"]
-    rules = _select_rules(args.select)
+    rules = _select_rules(args.select, args.ignore)
     try:
-        findings = list(lint_paths(paths, rules))
+        findings = list(
+            _lint_paths_cached(paths, rules, use_cache=not args.no_cache)
+        )
     except FileNotFoundError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
-    emit(findings, args.output_format)
+    emit(
+        findings,
+        args.output_format,
+        tool_name="repro.lint",
+        rule_titles={rule.rule_id: rule.title for rule in ALL_RULES},
+    )
     if findings:
         files = len({f.path for f in findings})
         print(

@@ -10,18 +10,25 @@ tools:
 * ``json`` — a single object ``{"findings": [...], "count": N}`` for
   editor integrations and scripted triage;
 * ``github`` — ``::error`` workflow commands, which GitHub Actions
-  renders as inline PR annotations.
+  renders as inline PR annotations;
+* ``sarif`` — a SARIF 2.1.0 log, the interchange format GitHub code
+  scanning ingests via ``github/codeql-action/upload-sarif``.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.lint.rules import Finding
 
 #: The accepted ``--format`` values, in help-text order.
-FORMATS: Sequence[str] = ("text", "json", "github")
+FORMATS: Sequence[str] = ("text", "json", "github", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 _JsonFinding = Dict[str, Union[str, int]]
 
@@ -81,7 +88,67 @@ def render_github(findings: Sequence[Finding]) -> List[str]:
     return lines
 
 
-def render(findings: Sequence[Finding], output_format: str) -> List[str]:
+def render_sarif(
+    findings: Sequence[Finding],
+    tool_name: str = "repro.lint",
+    rule_titles: Optional[Mapping[str, str]] = None,
+) -> List[str]:
+    """``sarif`` format: one SARIF 2.1.0 log object.
+
+    ``rule_titles`` (id -> short description) populates the driver's
+    rule metadata; ids seen only in findings still get a bare entry so
+    the log validates against the schema either way.
+    """
+    titles = dict(rule_titles or {})
+    seen_ids = sorted({f.rule_id for f in findings} | set(titles))
+    rules = []
+    for rule_id in seen_ids:
+        entry: Dict[str, object] = {"id": rule_id}
+        title = titles.get(rule_id)
+        if title:
+            entry["shortDescription"] = {"text": title}
+        rules.append(entry)
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": tool_name, "rules": rules}},
+                "results": results,
+            }
+        ],
+    }
+    return [json.dumps(log, indent=2, sort_keys=False)]
+
+
+def render(
+    findings: Sequence[Finding],
+    output_format: str,
+    tool_name: str = "repro.lint",
+    rule_titles: Optional[Mapping[str, str]] = None,
+) -> List[str]:
     """Dispatch on ``output_format`` (one of :data:`FORMATS`)."""
     if output_format == "text":
         return render_text(findings)
@@ -89,10 +156,17 @@ def render(findings: Sequence[Finding], output_format: str) -> List[str]:
         return render_json(findings)
     if output_format == "github":
         return render_github(findings)
+    if output_format == "sarif":
+        return render_sarif(findings, tool_name, rule_titles)
     raise ValueError(f"unknown output format: {output_format!r}")
 
 
-def emit(findings: Sequence[Finding], output_format: str) -> None:
+def emit(
+    findings: Sequence[Finding],
+    output_format: str,
+    tool_name: str = "repro.lint",
+    rule_titles: Optional[Mapping[str, str]] = None,
+) -> None:
     """Print the findings in ``output_format`` to stdout."""
-    for line in render(findings, output_format):
+    for line in render(findings, output_format, tool_name, rule_titles):
         print(line)

@@ -86,7 +86,7 @@ class NetworkModel:
 
     def session_destinations(self) -> Dict[int, NodeId]:
         """Session id -> destination node id."""
-        return {s.session_id: s.destination for s in self.sessions}
+        return {s.session_id: s.destination for s in self.sessions}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
 
 
 def build_network_model(

@@ -131,6 +131,6 @@ def gain_matrix_for_positions(
     from repro.phy.propagation import gain_matrix
 
     coords = np.array([[p.x, p.y] for p in positions])
-    diffs = coords[:, None, :] - coords[None, :, :]
+    diffs = coords[:, None, :] - coords[None, :, :]  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
     distances = np.sqrt((diffs**2).sum(axis=2))
     return gain_matrix(distances, constant, exponent)

@@ -106,7 +106,7 @@ def build_topology(params: ScenarioParameters, nodes: Sequence[Node]) -> Topolog
     """
     num_nodes = len(nodes)
     positions = np.array([[n.position.x, n.position.y] for n in nodes])
-    diffs = positions[:, None, :] - positions[None, :, :]
+    diffs = positions[:, None, :] - positions[None, :, :]  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
     distances = np.sqrt((diffs**2).sum(axis=2))
 
     gains = gain_matrix(

@@ -50,9 +50,9 @@ def big_m_coefficient(
     (``a_ij^m = 0``) imposes no restriction.
     """
     num_nodes = gains.shape[0]
-    worst_interference = sum(
+    worst_interference = sum(  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
         gains[k, rx] * max_power_w[k]
-        for k in range(num_nodes)
+        for k in range(num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
         if k != tx and k != rx
     )
     return sinr_threshold * (noise_power_w + worst_interference)

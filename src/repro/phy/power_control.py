@@ -52,10 +52,10 @@ def _solve_min_powers(
 ) -> np.ndarray:
     """Exact minimal powers for ``links``; +inf rows mark infeasibility."""
     n = len(links)
-    direct = np.array([gains[tx, rx] for tx, rx in links])
+    direct = np.array([gains[tx, rx] for tx, rx in links])  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
     cross = np.zeros((n, n))
-    for l, (_, rx_l) in enumerate(links):
-        for k, (tx_k, _) in enumerate(links):
+    for l, (_, rx_l) in enumerate(links):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for k, (tx_k, _) in enumerate(links):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             if k != l:
                 cross[l, k] = gains[tx_k, rx_l]
     coupling = sinr_threshold * cross / direct[:, None]
@@ -102,7 +102,7 @@ def minimal_power_assignment(
 
     while active:
         powers = _solve_min_powers(active, gains, noise_power_w, sinr_threshold)
-        caps = np.array([max_power_w[tx] for tx, _ in active])
+        caps = np.array([max_power_w[tx] for tx, _ in active])  # noqa: R042 - per-iteration allocation pending batched kernels (ROADMAP item 1)
         over = powers / caps  # > 1 means the cap is violated (inf if infeasible)
         if np.all(over <= 1.0 + 1e-12):
             for link, power in zip(active, powers):

@@ -355,7 +355,7 @@ class NetworkState:
         if self.arrays is None:
             return {
                 link: self.virtual_queues.h(link)
-                for link in self.model.topology.candidate_links
+                for link in self.model.topology.candidate_links  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
             }
         return LinkArrayMapping(
             self.virtual_queues.h_array(), self.arrays.links, self.arrays.link_pos

@@ -374,7 +374,7 @@ class TestCli:
 
     def test_render_rejects_unknown_format(self):
         with pytest.raises(ValueError):
-            render([], "sarif")
+            render([], "teletype")
 
     def test_repo_is_clean(self):
         """The acceptance criterion: the lint suite passes on the PR."""

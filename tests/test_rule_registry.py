@@ -2,7 +2,9 @@
 
 One parametrized suite asserts, for each rule id across the lint chassis
 (R001-R006), the units dataflow pass (R010-R012), the axis/shape pass
-(R020-R023), the determinism pass (R030-R032), and the equations audit
+(R020-R023) and its interprocedural extension (R024-R025), the
+determinism pass (R030-R032), the hot-path rules (R040-R042), the
+process-pool safety rules (R050-R052), and the equations audit
 (EQ001-EQ003):
 
 * the registry has non-empty ``--explain`` text;
@@ -22,7 +24,7 @@ from typing import NamedTuple, Optional, Type
 import pytest
 
 from repro.analysis.arrayflow import ArrayDataflowRule
-from repro.analysis.cli import main
+from repro.analysis.cli import analyze_sources, main
 from repro.analysis.dataflow import UnitDataflowRule
 from repro.analysis.determinism import (
     GlobalRngRule,
@@ -41,8 +43,10 @@ CONTROL = Path("src/repro/control/example.py")
 EXPECTED_IDS = [
     "R001", "R002", "R003", "R004", "R005", "R006",
     "R010", "R011", "R012",
-    "R020", "R021", "R022", "R023",
+    "R020", "R021", "R022", "R023", "R024", "R025",
     "R030", "R031", "R032",
+    "R040", "R041", "R042",
+    "R050", "R051", "R052",
     "EQ001", "EQ002", "EQ003",
 ]
 
@@ -278,6 +282,196 @@ FIXTURES = {
     ),
 }
 
+class ProgramFixture(NamedTuple):
+    """Whole-program fixtures: {display_path: source} trees, analyzed
+    through the interprocedural engine rather than one file at a time."""
+
+    positive: dict
+    negative: dict
+
+
+_CALLEE_SCALE = """
+from repro.axes import LinkBandMat
+
+def scale(weights: LinkBandMat) -> LinkBandMat:
+    return weights * 2.0
+"""
+
+_CALLEE_MAKE = """
+from repro.axes import LinkBandMat
+
+def make(weights: LinkBandMat):
+    return weights * 2.0
+"""
+
+PROGRAM_FIXTURES = {
+    "R024": ProgramFixture(
+        {
+            "src/repro/solvers/helper.py": _CALLEE_SCALE,
+            "src/repro/control/caller.py": """
+from repro.axes import LinkBandMat
+from repro.solvers.helper import scale
+
+def run(w: LinkBandMat):
+    return scale(w.T)
+""",
+        },
+        {
+            "src/repro/solvers/helper.py": _CALLEE_SCALE,
+            "src/repro/control/caller.py": """
+from repro.axes import LinkBandMat
+from repro.solvers.helper import scale
+
+def run(w: LinkBandMat):
+    return scale(w)
+""",
+        },
+    ),
+    "R025": ProgramFixture(
+        {
+            "src/repro/solvers/factory.py": _CALLEE_MAKE,
+            "src/repro/control/use.py": """
+from repro.axes import LinkBandMat, NodeVec
+from repro.solvers.factory import make
+
+def run(w: LinkBandMat):
+    out: NodeVec = make(w)
+    return out
+""",
+        },
+        {
+            "src/repro/solvers/factory.py": _CALLEE_MAKE,
+            "src/repro/control/use.py": """
+from repro.axes import LinkBandMat
+from repro.solvers.factory import make
+
+def run(w: LinkBandMat):
+    out: LinkBandMat = make(w)
+    return out
+""",
+        },
+    ),
+    "R040": ProgramFixture(
+        {
+            "src/repro/sim/engine.py": """
+class SlotSimulator:
+    def step(self, num_nodes: int) -> None:
+        for node in range(num_nodes):
+            print(node)
+"""
+        },
+        {
+            "src/repro/sim/engine.py": """
+class SlotSimulator:
+    def step(self, backlog) -> float:
+        return float(backlog.sum())
+"""
+        },
+    ),
+    "R041": ProgramFixture(
+        {
+            "src/repro/network/grid.py": """
+import numpy as np
+
+def build(num_nodes: int) -> np.ndarray:
+    return np.zeros((num_nodes, num_nodes))
+"""
+        },
+        {
+            "src/repro/network/grid.py": """
+import numpy as np
+
+def build(num_nodes: int) -> np.ndarray:
+    return np.zeros(num_nodes)
+"""
+        },
+    ),
+    "R042": ProgramFixture(
+        {
+            "src/repro/sim/engine.py": """
+import numpy as np
+
+class SlotSimulator:
+    def step(self, batches) -> None:
+        for batch in batches:
+            buf = np.zeros(4)
+            buf[:] = batch
+"""
+        },
+        {
+            "src/repro/sim/engine.py": """
+import numpy as np
+
+class SlotSimulator:
+    def step(self, batches) -> None:
+        buf = np.zeros(4)
+        for batch in batches:
+            buf[:] = batch
+"""
+        },
+    ),
+    "R050": ProgramFixture(
+        {
+            "src/repro/experiments/jobs.py": """
+CACHE = {}
+
+def work(job: int) -> int:
+    CACHE[job] = job
+    return job
+
+def run(pool, jobs):
+    return [pool.submit(work, job) for job in jobs]
+"""
+        },
+        {
+            "src/repro/experiments/jobs.py": """
+def work(job: int) -> int:
+    return job
+
+def run(pool, jobs):
+    return [pool.submit(work, job) for job in jobs]
+"""
+        },
+    ),
+    "R051": ProgramFixture(
+        {
+            "src/repro/experiments/jobs.py": """
+def run(pool, jobs):
+    return [pool.submit(lambda j: j, job) for job in jobs]
+"""
+        },
+        {
+            "src/repro/experiments/jobs.py": """
+def work(job: int) -> int:
+    return job
+
+def run(pool, jobs):
+    return [pool.submit(work, job) for job in jobs]
+"""
+        },
+    ),
+    "R052": ProgramFixture(
+        {
+            "src/repro/phy/noise.py": """
+import numpy as np
+
+RNG = np.random.default_rng(0)
+
+def draw() -> float:
+    return float(RNG.normal())
+"""
+        },
+        {
+            "src/repro/phy/noise.py": """
+import numpy as np
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.normal())
+"""
+        },
+    ),
+}
+
 MANIFEST = """\
 [[equation]]
 id = 1
@@ -315,6 +509,13 @@ def _lint_ids(rule_id: str, source: str):
     return [f.rule_id for f in found]
 
 
+def _program_ids(sources: dict):
+    dedented = {
+        path: textwrap.dedent(source) for path, source in sources.items()
+    }
+    return [f.rule_id for f in analyze_sources(dedented)]
+
+
 def _audit_ids(tmp_path, manifest_text: str, docstring: str):
     manifest = tmp_path / "docs" / "equations.toml"
     manifest.parent.mkdir(parents=True, exist_ok=True)
@@ -331,9 +532,9 @@ class TestRegistryShape:
         assert list(ALL_RULE_IDS) == EXPECTED_IDS
 
     def test_fixture_tables_cover_the_registry(self):
-        assert sorted(FIXTURES) + sorted(EQ_FIXTURES) == sorted(
-            ALL_RULE_IDS, key=lambda rid: (rid.startswith("EQ"), rid)
-        )
+        assert sorted(list(FIXTURES) + list(PROGRAM_FIXTURES)) + sorted(
+            EQ_FIXTURES
+        ) == sorted(ALL_RULE_IDS, key=lambda rid: (rid.startswith("EQ"), rid))
 
 
 @pytest.mark.parametrize("rule_id", ALL_RULE_IDS)
@@ -353,6 +554,8 @@ class TestEveryRule:
         if rule_id.startswith("EQ"):
             manifest_text, docstring = EQ_FIXTURES[rule_id][0]
             assert rule_id in _audit_ids(tmp_path, manifest_text, docstring)
+        elif rule_id in PROGRAM_FIXTURES:
+            assert rule_id in _program_ids(PROGRAM_FIXTURES[rule_id].positive)
         else:
             assert rule_id in _lint_ids(rule_id, FIXTURES[rule_id].positive)
 
@@ -360,5 +563,9 @@ class TestEveryRule:
         if rule_id.startswith("EQ"):
             manifest_text, docstring = EQ_FIXTURES[rule_id][1]
             assert _audit_ids(tmp_path, manifest_text, docstring) == []
+        elif rule_id in PROGRAM_FIXTURES:
+            assert rule_id not in _program_ids(
+                PROGRAM_FIXTURES[rule_id].negative
+            )
         else:
             assert rule_id not in _lint_ids(rule_id, FIXTURES[rule_id].negative)
