@@ -12,6 +12,11 @@ Three metrics per scenario:
   GREEDY scheduler.  GREEDY is used so the comparison exercises the
   refactored layers rather than the LP solver, whose cost is identical
   on both paths and would otherwise dominate the denominator.
+* ``control_layer`` — the controller's ``decide`` calls alone, timed
+  inside a closed loop (S1 scheduling + curtailment + S2/S3 + the S4
+  energy manager).  This isolates the batched control kernels: the
+  closed-form vectorized S4, the (L, M) candidate grid, and the
+  matrix Foschini–Miljanic power control.
 * ``state_layer`` — an observe+apply replay of a decision sequence
   recorded once from a closed-loop run.  This isolates exactly the
   layers the array refactor rewired (sampling, queue laws, batteries)
@@ -109,6 +114,32 @@ def _time_full_loop(params, state_cls, reps: int) -> Tuple[float, Tuple, List]:
     return params.num_slots / best, fingerprint, snapshots
 
 
+def _time_control_layer(params, state_cls, reps: int) -> Tuple[float, Tuple]:
+    """Best-of-``reps`` controller-only slots/sec inside a closed loop.
+
+    Both paths walk the identical trajectory (the decision sequence is
+    bit-identical between state classes), so timing only the
+    ``decide`` calls compares the control kernels on equal inputs.
+    """
+    best = float("inf")
+    fingerprint: Tuple = ()
+    for _ in range(reps):
+        sim = _build(params, state_cls)
+        decide = sim.controller.decide
+        observe = sim.state.observe
+        apply = sim.state.apply
+        total = 0.0
+        for slot in range(params.num_slots):
+            observation = observe(slot)
+            t0 = time.perf_counter()
+            decision = decide(observation, sim.state)
+            total += time.perf_counter() - t0
+            apply(decision, slot, enforce_complementarity=True)
+        best = min(best, total)
+        fingerprint = _final_state_fingerprint(sim)
+    return params.num_slots / best, fingerprint
+
+
 def _record_decisions(params) -> List:
     """One closed-loop run on the array path, keeping each SlotDecision."""
     sim = _build(params, NetworkState)
@@ -161,6 +192,12 @@ def bench_scenario(
     arr_full, arr_fp, arr_snaps = _time_full_loop(params, NetworkState, full_reps)
     closed_match = obj_fp == arr_fp and obj_snaps == arr_snaps
 
+    obj_ctrl, obj_ctrl_fp = _time_control_layer(
+        params, ReferenceNetworkState, full_reps
+    )
+    arr_ctrl, arr_ctrl_fp = _time_control_layer(params, NetworkState, full_reps)
+    control_match = obj_ctrl_fp == arr_ctrl_fp
+
     decisions = _record_decisions(params)
     obj_state, obj_apply, obj_replay_fp = _time_replay(
         params, ReferenceNetworkState, decisions, replay_reps
@@ -174,9 +211,10 @@ def bench_scenario(
         "num_users": num_users,
         "num_slots": num_slots,
         "full_loop": _metric(obj_full, arr_full),
+        "control_layer": _metric(obj_ctrl, arr_ctrl),
         "state_layer": _metric(obj_state, arr_state),
         "apply_kernel": _metric(obj_apply, arr_apply),
-        "paths_match": bool(closed_match and replay_match),
+        "paths_match": bool(closed_match and control_match and replay_match),
     }
 
 
@@ -187,7 +225,9 @@ def check_baseline(report: Dict, baseline: Dict) -> List[str]:
         base = baseline.get("scenarios", {}).get(name)
         if base is None:
             continue
-        for metric in ("full_loop", "state_layer"):
+        for metric in ("full_loop", "control_layer", "state_layer"):
+            if metric not in base:
+                continue
             cur = current[metric]
             ref = base[metric]
             scale = cur["object_slots_per_sec"] / ref["object_slots_per_sec"]
@@ -238,6 +278,7 @@ def main(argv=None) -> int:
         summary = scenarios[name]
         print(
             f"  full_loop {summary['full_loop']['speedup']:.2f}x | "
+            f"control_layer {summary['control_layer']['speedup']:.2f}x | "
             f"state_layer {summary['state_layer']['speedup']:.2f}x | "
             f"apply_kernel {summary['apply_kernel']['speedup']:.2f}x | "
             f"paths_match={summary['paths_match']}",
@@ -249,6 +290,16 @@ def main(argv=None) -> int:
         "u200_state_layer_speedup": u200.get("state_layer", {}).get("speedup"),
         "meets_3x": bool(
             u200.get("state_layer", {}).get("speedup", 0.0) >= 3.0
+        ),
+        "u200_full_loop_speedup": u200.get("full_loop", {}).get("speedup"),
+        "meets_full_loop_3x": bool(
+            u200.get("full_loop", {}).get("speedup", 0.0) >= 3.0
+        ),
+        "u200_control_layer_speedup": u200.get("control_layer", {}).get(
+            "speedup"
+        ),
+        "meets_control_layer_4x": bool(
+            u200.get("control_layer", {}).get("speedup", 0.0) >= 4.0
         ),
     }
     report = {

@@ -61,7 +61,7 @@ class ResourceAllocator:
         sources: Dict[SessionId, NodeId] = {}
         admitted: Dict[SessionId, int] = {}
         bs_ids = self._model.bs_ids
-        for session in self._model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for session in self._model.sessions:  # noqa: R040 - S2 is inherently per-session: each iteration is a scalar token-bucket decision with rng draws, not an axis-wide kernel
             backlogs = {bs: backlog(bs, session.session_id) for bs in bs_ids}
             smallest = min(backlogs.values())
             tied = [bs for bs, value in backlogs.items() if value == smallest]

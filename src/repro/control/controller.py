@@ -19,10 +19,11 @@ simulator applies the returned :class:`SlotDecision`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Union
 
 import numpy as np
 
+from repro.axes import NodeJoules
 from repro.contracts import ContractChecker
 from repro.control.admission import ResourceAllocator
 from repro.control.decisions import (
@@ -30,11 +31,16 @@ from repro.control.decisions import (
     SlotDecision,
     SlotObservation,
 )
-from repro.control.energy_manager import EnergyManager, NodeEnergyInputs
+from repro.control.energy_manager import (
+    EnergyManager,
+    NodeEnergyBatch,
+    NodeEnergyInputs,
+)
 from repro.control.router import BackpressureRouter, RouterMode
 from repro.control.scheduler import LinkScheduler
+from repro.core.arraystate import NodeArrayMapping
 from repro.core.lyapunov import LyapunovConstants
-from repro.energy.consumption import all_node_demands_j
+from repro.energy.consumption import all_node_demands_array, all_node_demands_j
 from repro.model import NetworkModel
 from repro.types import (
     EnergySolverKind,
@@ -77,6 +83,23 @@ class DriftPlusPenaltyController:
         if checker is not None:
             self.attach_contracts(checker)
         self._allowed_links = self._compute_allowed_links()
+        # Static per-node constants for the batched control path: fixed
+        # slot energy, receive power, BS membership, and node ids in
+        # node-id order.  None of these change mid-run.
+        params = model.params
+        self._fixed_energy_arr = np.fromiter(
+            (n.radio.fixed_energy_j(params.slot_seconds) for n in model.nodes),
+            dtype=float,
+            count=model.num_nodes,
+        )
+        self._recv_power_arr = np.fromiter(
+            (n.radio.recv_power_w for n in model.nodes),
+            dtype=float,
+            count=model.num_nodes,
+        )
+        self._bs_mask = np.zeros(model.num_nodes, dtype=bool)
+        self._bs_mask[list(model.bs_ids)] = True
+        self._node_ids = np.arange(model.num_nodes, dtype=np.intp)
         #: Energy demand shed because no supply could cover it (J),
         #: accumulated across slots for the metrics collector.
         self.last_deficit_j: Dict[NodeId, float] = {}
@@ -96,7 +119,9 @@ class DriftPlusPenaltyController:
         self.router.attach_contracts(checker)
         self.energy_manager.attach_contracts(checker)
 
-    def _energy_prices(self, slot: int) -> Optional[Dict[NodeId, float]]:
+    def _energy_prices(
+        self, slot: int, use_arrays: bool = False
+    ) -> Optional[Union[Dict[NodeId, float], np.ndarray]]:
         """Per-node marginal energy prices for the S1 weights.
 
         Base-station energy is priced at ``V * f'(P)`` under the
@@ -105,15 +130,20 @@ class DriftPlusPenaltyController:
         energy is renewable-funded and free from the provider's
         perspective, which is precisely the asymmetry that makes
         relaying through users worthwhile.
+
+        With ``use_arrays`` the prices come back as an ``(N,)`` vector
+        for the batched S1 kernel; otherwise as the reference dict.
         """
         if not self._model.params.energy_aware_scheduling:
             return None
         marginal = self._model.cost_at(slot).derivative(self._last_grid_draw_j)
         price = self._model.params.control_v * marginal
+        if use_arrays:
+            return np.where(self._bs_mask, price, 0.0)
         bs_set = set(self._model.bs_ids)
         return {
             node: (price if node in bs_set else 0.0)
-            for node in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            for node in range(self._model.num_nodes)  # noqa: R040 - reference object path; the array path emits the (N,) price vector above
         }
 
     def _compute_allowed_links(self) -> Optional[Dict[Link, bool]]:
@@ -146,26 +176,85 @@ class DriftPlusPenaltyController:
             + state.batteries[node].max_deliverable_j()
         )
 
+    def _curtail_arrays(
+        self,
+        schedule: ScheduleDecision,
+        observation: SlotObservation,
+        state: NetworkState,
+        h_backlogs: Mapping[Link, float],
+    ) -> NodeJoules:
+        """Array-state curtailment: one vectorized supply/demand pass.
+
+        Semantics (and every float64 result) match :meth:`_curtail`:
+        supply adds renewable, gated grid cap, and battery discharge
+        headroom in the same left-to-right order, demands accumulate in
+        schedule order, and the first overloaded node id is handled
+        each round exactly as the dict scan would.
+        """
+        params = self._model.params
+        arrays = state.arrays
+        supply = (
+            observation.renewable_j.values_array
+            + np.where(
+                observation.grid_connected.values_array,
+                state.grid_caps_array(),
+                0.0,
+            )
+            + arrays.max_deliverable_j_array()
+        )
+        self.last_deficit_j = {}
+
+        while True:
+            demands = all_node_demands_array(
+                self._fixed_energy_arr,
+                self._recv_power_arr,
+                schedule.transmissions,
+                params.slot_seconds,
+            )
+            overloaded = np.flatnonzero(demands > supply + _ENERGY_TOL)
+            if overloaded.size == 0:
+                return demands
+
+            node = int(overloaded[0])
+            involved = [
+                t for t in schedule.transmissions if node in (t.tx, t.rx)
+            ]
+            if not involved:
+                deficit = float(demands[node] - supply[node])
+                self.last_deficit_j[node] = (
+                    self.last_deficit_j.get(node, 0.0) + deficit
+                )
+                supply[node] = demands[node]
+                continue
+
+            victim = min(
+                involved, key=lambda t: h_backlogs.get(t.link, 0.0)
+            )
+            self._remove_transmission(schedule, victim)
+
     def _curtail(
         self,
         schedule: ScheduleDecision,
         observation: SlotObservation,
         state: NetworkState,
         h_backlogs: Mapping[Link, float],
-    ) -> Dict[NodeId, float]:
+    ) -> Union[Dict[NodeId, float], NodeJoules]:
         """Shed transmissions until every node's demand is supplied.
 
         Mutates ``schedule`` in place (removing transmissions, reducing
         link service, recording the drops) and returns the per-node
         demands after curtailment, with unservable *base* demand
         (constant + idle energy) clamped off and recorded in
-        ``last_deficit_j``.
+        ``last_deficit_j``.  On the array state the vectorized pass
+        returns an ``(N,)`` array instead of a dict.
         """
+        if getattr(state, "arrays", None) is not None:
+            return self._curtail_arrays(schedule, observation, state, h_backlogs)
         params = self._model.params
-        node_params = {n.node_id: n.radio for n in self._model.nodes}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        node_params = {n.node_id: n.radio for n in self._model.nodes}  # noqa: R040 - reference object path; the array path uses the precomputed per-node constants
         supply = {
             n: self._max_supply_j(n, observation, state)
-            for n in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            for n in range(self._model.num_nodes)  # noqa: R040 - reference object path; the array path builds supply as one vector expression
         }
         self.last_deficit_j = {}
 
@@ -228,11 +317,14 @@ class DriftPlusPenaltyController:
             forbidden = [
                 link for link, ok in self._allowed_links.items() if not ok
             ]
+        arrays = getattr(state, "arrays", None)
         schedule = self.scheduler.schedule(
             observation,
             h_backlogs,
             forbidden_links=forbidden,
-            energy_prices=self._energy_prices(observation.slot),
+            energy_prices=self._energy_prices(
+                observation.slot, use_arrays=arrays is not None
+            ),
         )
         curtailed_before = len(schedule.dropped)
         demands = self._curtail(schedule, observation, state, h_backlogs)
@@ -246,35 +338,56 @@ class DriftPlusPenaltyController:
             state.backlog,
             h_backlogs,
             allowed_links=self._allowed_links,
-            arrays=getattr(state, "arrays", None),
+            arrays=arrays,
         )
 
-        z_values = state.z_values()
-        inputs: List[NodeEnergyInputs] = []
-        bs_set: Set[NodeId] = set(self._model.bs_ids)
-        for node_obj in self._model.nodes:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
-            node = node_obj.node_id
-            battery = state.batteries[node]
-            connected = observation.grid_connected[node]
-            deficit = self.last_deficit_j.get(node, 0.0)
-            inputs.append(
-                NodeEnergyInputs(
-                    node=node,
-                    is_base_station=node in bs_set,
-                    demand_j=max(0.0, demands[node] - deficit),
-                    renewable_j=observation.renewable_j[node],
-                    grid_connected=connected,
-                    grid_cap_j=state.grids[node].draw_cap_j,
-                    charge_cap_j=battery.max_charge_j(),
-                    discharge_cap_j=battery.max_deliverable_j(),
-                    z=z_values[node],
-                    charge_efficiency=battery.charge_efficiency,
-                    discharge_efficiency=battery.discharge_efficiency,
-                )
+        if arrays is not None:
+            deficit_arr = np.zeros(self._model.num_nodes)
+            for node, value in self.last_deficit_j.items():
+                deficit_arr[node] = value
+            batch = NodeEnergyBatch(
+                nodes=self._node_ids,
+                is_base_station=self._bs_mask,
+                demand_j=np.maximum(0.0, demands - deficit_arr),
+                renewable_j=observation.renewable_j.values_array,
+                grid_connected=observation.grid_connected.values_array,
+                grid_cap_j=state.grid_caps_array(),
+                charge_cap_j=arrays.max_charge_j_array(),
+                discharge_cap_j=arrays.max_deliverable_j_array(),
+                z=arrays.z_values_array(),
+                charge_efficiency=arrays.charge_efficiency,
+                discharge_efficiency=arrays.discharge_efficiency,
             )
-        energy = self.energy_manager.manage(
-            inputs, cost=self._model.cost_at(observation.slot)
-        )
+            energy = self.energy_manager.manage(
+                batch, cost=self._model.cost_at(observation.slot)
+            )
+        else:
+            z_values = state.z_values()
+            inputs: List[NodeEnergyInputs] = []
+            bs_set: Set[NodeId] = set(self._model.bs_ids)
+            for node_obj in self._model.nodes:  # noqa: R040 - reference object path; the array path assembles one NodeEnergyBatch instead
+                node = node_obj.node_id
+                battery = state.batteries[node]
+                connected = observation.grid_connected[node]
+                deficit = self.last_deficit_j.get(node, 0.0)
+                inputs.append(
+                    NodeEnergyInputs(
+                        node=node,
+                        is_base_station=node in bs_set,
+                        demand_j=max(0.0, demands[node] - deficit),
+                        renewable_j=observation.renewable_j[node],
+                        grid_connected=connected,
+                        grid_cap_j=state.grids[node].draw_cap_j,
+                        charge_cap_j=battery.max_charge_j(),
+                        discharge_cap_j=battery.max_deliverable_j(),
+                        z=z_values[node],
+                        charge_efficiency=battery.charge_efficiency,
+                        discharge_efficiency=battery.discharge_efficiency,
+                    )
+                )
+            energy = self.energy_manager.manage(
+                inputs, cost=self._model.cost_at(observation.slot)
+            )
         self._last_grid_draw_j = energy.bs_grid_draw_j
 
         if self._checker is not None and self._checker.enabled:
@@ -284,8 +397,13 @@ class DriftPlusPenaltyController:
             self._checker.check_schedule(
                 self._model, observation, schedule, observation.slot
             )
+            demand_map = (
+                NodeArrayMapping(demands)
+                if isinstance(demands, np.ndarray)
+                else demands
+            )
             self._checker.check_demand_coverage(
-                demands, self.last_deficit_j, energy, observation.slot
+                demand_map, self.last_deficit_j, energy, observation.slot
             )
 
         return SlotDecision(

@@ -224,7 +224,7 @@ class BackpressureRouter:
 
         # Constraint (18): force v_s(t) onto the destination's
         # smallest-coefficient incoming candidate link.
-        for session in self._model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for session in self._model.sessions:  # noqa: R040 - reference object path; the array path routes via _route_remaining_links_vectorized
             dest = session.destination
             source = admission.sources[session.session_id]
             demand = session.demand(observation.slot)
@@ -280,9 +280,9 @@ class BackpressureRouter:
                 )
             return decision
 
-        destinations = {s.session_id: s.destination for s in self._model.sessions}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        destinations = {s.session_id: s.destination for s in self._model.sessions}  # noqa: R040 - reference object path; the array path reads session metadata from ArrayState
         sources = dict(admission.sources)
-        for link in topo.candidate_links:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for link in topo.candidate_links:  # noqa: R040 - reference object path; the array path scans links as (L,) index arrays
             if link in committed or not link_allowed(link):
                 continue
             tx, rx = link
@@ -290,7 +290,7 @@ class BackpressureRouter:
             if capacity <= 0:
                 continue
             eligible: List[Tuple[float, SessionId]] = []
-            for session in self._model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            for session in self._model.sessions:  # noqa: R040 - reference object path; the array path argmaxes differentials per link row
                 sid = session.session_id
                 # (17): destinations emit nothing; (16): sources receive
                 # nothing; destination in-links were handled above.
@@ -378,7 +378,7 @@ class BackpressureRouter:
             )
         else:
             capacity = np.fromiter(
-                (schedule.service_pkts(link) for link in arrays.links),  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+                (schedule.service_pkts(link) for link in arrays.links),  # noqa: R040 - boundary conversion from the dict-shaped S1 decision into the (L,) service vector, one pass per slot
                 dtype=np.float64,
                 count=num_links,
             )
@@ -390,13 +390,13 @@ class BackpressureRouter:
                 active[pos] = False
         if allowed_links is not None:
             active &= np.fromiter(
-                (allowed_links.get(link, False) for link in arrays.links),  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+                (allowed_links.get(link, False) for link in arrays.links),  # noqa: R040 - boundary conversion of the static allowed-links dict into an (L,) mask, one pass per slot
                 dtype=bool,
                 count=num_links,
             )
 
         src_by_col: SessionToNode = np.fromiter(
-            (admission.sources[sid] for sid in sessions),  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            (admission.sources[sid] for sid in sessions),  # noqa: R040 - boundary conversion from the dict-shaped S2 decision into the (S,) source vector, one pass per slot
             dtype=np.int64,
             count=len(sessions),
         )

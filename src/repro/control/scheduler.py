@@ -32,15 +32,18 @@ from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence
 import networkx as nx
 import numpy as np
 
-from repro.axes import LinkBandMat, LinkToNode, LinkVec
+from repro.axes import AnyArray, LinkBandMat, LinkIds, LinkToNode, LinkVec
 from repro.contracts import ContractChecker
 from repro.control.decisions import ScheduleDecision, SlotObservation
-from repro.core.arraystate import LinkArrayMapping
+from repro.core.arraystate import LinkArrayMapping, NodeArrayMapping
 from repro.core.lyapunov import LyapunovConstants
 from repro.model import NetworkModel
 from repro.phy.capacity import max_link_capacity_bps
 from repro.phy.interference import big_m_coefficient
-from repro.phy.power_control import minimal_power_assignment
+from repro.phy.power_control import (
+    minimal_power_assignment,
+    minimal_power_assignment_vec,
+)
 from repro.exceptions import SolverError
 from repro.solvers.linprog import LinearProgram, Sense
 from repro.solvers.sequential_fix import sequential_fix
@@ -211,22 +214,22 @@ class LinkScheduler:
         self._static_cache = (links, static)
         return static
 
-    def _candidates_vectorized(
+    def _candidate_grid(
         self,
         observation: SlotObservation,
         h_backlogs: LinkArrayMapping,
         energy_prices: Optional[Mapping[NodeId, float]],
         links: Tuple[Link, ...],
-    ) -> Dict[LinkBand, float]:
-        """Array fast path of :meth:`_candidates` over the link index.
+    ) -> Optional[
+        Tuple[np.ndarray, Sequence[Tuple[int, ...]], np.ndarray, np.ndarray]
+    ]:
+        """Net candidate weights as ``(active links, bands)`` arrays.
 
-        Computes the net weights as ``(active links, bands)`` array
-        expressions whose elementwise float64 chain mirrors the scalar
-        operation order bit for bit, then writes only the survivors to
-        the candidate dict in the scalar loop's (link, band) insertion
-        order — so every downstream selector (including the
-        insertion-order-sensitive matching tie-break) sees an
-        identical input.
+        Returns ``(active, orders, keep, weight)`` — the active link
+        positions, their per-link band iteration orders, the survivor
+        mask, and the weight matrix — or ``None`` when no link clears
+        the backlog floor.  The elementwise float64 chain mirrors the
+        scalar candidate loop's operation order bit for bit.
         """
         beta = self._constants.beta
         params = self._model.params
@@ -234,9 +237,8 @@ class LinkScheduler:
         static = self._scheduler_static(links)
         h_arr = h_backlogs.values_array
         active = np.flatnonzero(h_arr > _H_EPS)
-        weights: Dict[LinkBand, float] = {}
         if active.size == 0:
-            return weights
+            return None
 
         num_bands = static.band_member.shape[1]
         service = np.fromiter(
@@ -277,20 +279,44 @@ class LinkScheduler:
             g_link = np.asarray(self._gains(observation))[tx_idx, rx_idx]
             power = (params.sinr_threshold * noise)[None, :] / g_link[:, None]
             keep &= power <= static.max_power_tx[active][:, None]
-            price = np.fromiter(
-                (
-                    energy_prices.get(node, 0.0)
-                    for node in range(self._model.num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
-                ),
-                dtype=float,
-                count=self._model.num_nodes,
-            )
+            if isinstance(energy_prices, np.ndarray):
+                price = energy_prices
+            else:
+                price = np.fromiter(
+                    (
+                        energy_prices.get(node, 0.0)
+                        for node in range(self._model.num_nodes)  # noqa: R040 - reference dict-price path; the array path passes the (N,) price vector directly
+                    ),
+                    dtype=float,
+                    count=self._model.num_nodes,
+                )
             weight = weight - (price[tx_idx][:, None] * power) * dt
             weight = weight - ((price[rx_idx] * static.recv_power_rx[active]) * dt)[
                 :, None
             ]
         keep &= weight > 0.0
+        return active, orders, keep, weight
 
+    def _candidates_vectorized(
+        self,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        energy_prices: Optional[Mapping[NodeId, float]],
+        links: Tuple[Link, ...],
+    ) -> Dict[LinkBand, float]:
+        """Array fast path of :meth:`_candidates` over the link index.
+
+        Computes the net weights via :meth:`_candidate_grid`, then
+        writes only the survivors to the candidate dict in the scalar
+        loop's (link, band) insertion order — so every downstream
+        selector (including the insertion-order-sensitive matching
+        tie-break) sees an identical input.
+        """
+        weights: Dict[LinkBand, float] = {}
+        grid = self._candidate_grid(observation, h_backlogs, energy_prices, links)
+        if grid is None:
+            return weights
+        active, orders, keep, weight = grid
         for i, pos in enumerate(active):
             tx, rx = links[pos]
             keep_row = keep[i]
@@ -299,6 +325,28 @@ class LinkScheduler:
                 if keep_row[band]:
                     weights[(tx, rx, band)] = weight_row[band]
         return weights
+
+    def _candidate_positions(
+        self,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        energy_prices: Optional[Mapping[NodeId, float]],
+        links: Tuple[Link, ...],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Survivor candidates as ``(link positions, bands, weights)``.
+
+        The greedy selector re-sorts candidates globally, so unlike the
+        dict path no per-candidate insertion order needs preserving —
+        the survivors come straight off the ``keep`` mask with no
+        Python loop.
+        """
+        grid = self._candidate_grid(observation, h_backlogs, energy_prices, links)
+        if grid is None:
+            empty_pos = np.zeros(0, dtype=np.intp)
+            return empty_pos, np.zeros(0, dtype=np.intp), np.zeros(0)
+        active, _, keep, weight = grid
+        rows, bands = np.nonzero(keep)
+        return active[rows], bands, weight[rows, bands]
 
     def _candidates(
         self,
@@ -312,6 +360,8 @@ class LinkScheduler:
             return self._candidates_vectorized(
                 observation, h_backlogs, energy_prices, links
             )
+        if isinstance(energy_prices, np.ndarray):
+            energy_prices = NodeArrayMapping(energy_prices)
         beta = self._constants.beta
         dt = self._model.params.slot_seconds
         weights: Dict[LinkBand, float] = {}
@@ -355,7 +405,7 @@ class LinkScheduler:
                 tx, rx = links[pos]
                 yield tx, rx, h_arr[pos]
             return
-        for tx, rx in links:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for tx, rx in links:  # noqa: R040 - reference object path used by the SF/matching schedulers; the GREEDY array path uses _candidate_positions
             backlog = h_backlogs.get((tx, rx), 0.0)
             if backlog > _H_EPS:
                 yield tx, rx, backlog
@@ -591,6 +641,62 @@ class LinkScheduler:
                 band_used.add((node, band))
         return chosen
 
+    def _radios_list(self) -> List[int]:
+        """Per-node radio budgets, cached (cold path: built once)."""
+        cached = getattr(self, "_radios_cache", None)
+        if cached is None:
+            cached = [node.radio.num_radios for node in self._model.nodes]
+            self._radios_cache = cached
+        return cached
+
+    def _select_greedy_arrays(
+        self,
+        link_pos: LinkIds,
+        bands: AnyArray,
+        weights: AnyArray,
+        links: Tuple[Link, ...],
+    ) -> Tuple[List[int], List[int]]:
+        """Array fast path of :meth:`_select_greedy`.
+
+        ``np.lexsort`` over ``(-weight, tx, rx, band)`` reproduces the
+        scalar ``sorted(weights, key=lambda k: (-weights[k], k))``
+        order exactly (keys are unique, so ties resolve on the integer
+        key columns); the conflict scan then replays the same
+        usage/band-exclusivity bookkeeping over plain Python ints.
+
+        Returns the chosen candidates as parallel ``(link position,
+        band)`` lists, in selection (descending-weight) order.
+        """
+        static = self._scheduler_static(links)
+        tx_arr = static.link_tx[link_pos]
+        rx_arr = static.link_rx[link_pos]
+        order = np.lexsort((bands, rx_arr, tx_arr, -weights))
+        tx_l = tx_arr[order].tolist()
+        rx_l = rx_arr[order].tolist()
+        band_l = bands[order].tolist()
+        pos_l = link_pos[order].tolist()
+
+        radios = self._radios_list()
+        usage = [0] * self._model.num_nodes
+        band_used: set = set()
+        chosen_pos: List[int] = []
+        chosen_band: List[int] = []
+        for i in range(len(pos_l)):
+            tx = tx_l[i]
+            rx = rx_l[i]
+            if usage[tx] >= radios[tx] or usage[rx] >= radios[rx]:
+                continue
+            band = band_l[i]
+            if (tx, band) in band_used or (rx, band) in band_used:
+                continue  # constraints (20)/(21)
+            chosen_pos.append(pos_l[i])
+            chosen_band.append(band)
+            usage[tx] += 1
+            usage[rx] += 1
+            band_used.add((tx, band))
+            band_used.add((rx, band))
+        return chosen_pos, chosen_band
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -616,6 +722,15 @@ class LinkScheduler:
             The activation set with minimal feasible powers and the
             per-link realised service in packets.
         """
+        links = self._model.topology.candidate_links
+        if (
+            self._kind is SchedulerKind.GREEDY
+            and isinstance(h_backlogs, LinkArrayMapping)
+            and h_backlogs.links is links
+        ):
+            return self._schedule_greedy_arrays(
+                observation, h_backlogs, forbidden_links, energy_prices, links
+            )
         weights = self._candidates(observation, h_backlogs, energy_prices)
         if forbidden_links:
             banned = set(forbidden_links)
@@ -641,6 +756,97 @@ class LinkScheduler:
             )
         return decision
 
+    def _schedule_greedy_arrays(
+        self,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        forbidden_links: Optional[Iterable[Link]],
+        energy_prices: Optional[Mapping[NodeId, float]],
+        links: Tuple[Link, ...],
+    ) -> ScheduleDecision:
+        """Matrix S1 for the GREEDY selector over the frozen link index.
+
+        Candidate weights, selection, and per-band Foschini–Miljanic
+        power control all run on ``(L,)``/``(L, M)`` arrays; the
+        decision (activation set, powers, service, drops) is
+        bit-identical to the dict path on the same slot.
+        """
+        link_pos, bands, weights = self._candidate_positions(
+            observation, h_backlogs, energy_prices, links
+        )
+        if forbidden_links:
+            banned = set(forbidden_links)
+            if banned:
+                allowed = np.fromiter(
+                    (links[pos] not in banned for pos in link_pos),
+                    dtype=bool,
+                    count=link_pos.shape[0],
+                )
+                link_pos = link_pos[allowed]
+                bands = bands[allowed]
+                weights = weights[allowed]
+        if link_pos.size == 0:
+            return ScheduleDecision()
+        chosen_pos, chosen_band = self._select_greedy_arrays(
+            link_pos, bands, weights, links
+        )
+        decision = self._power_control_vectorized(
+            chosen_pos, chosen_band, observation, h_backlogs, links
+        )
+        if self._checker is not None and self._checker.enabled:
+            self._checker.check_schedule(
+                self._model, observation, decision, observation.slot
+            )
+        return decision
+
+    def _power_control_vectorized(
+        self,
+        chosen_pos: List[int],
+        chosen_band: List[int],
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        links: Tuple[Link, ...],
+    ) -> ScheduleDecision:
+        """Array fast path of :meth:`_power_control`.
+
+        Per band, one :func:`minimal_power_assignment_vec` call replaces
+        the per-pair gain-matrix Python loops; priorities come straight
+        off the ``H`` array.
+        """
+        decision = ScheduleDecision()
+        static = self._scheduler_static(links)
+        h_arr = h_backlogs.values_array
+        by_band: Dict[int, List[int]] = {}
+        for pos, band in zip(chosen_pos, chosen_band):
+            by_band.setdefault(band, []).append(pos)
+
+        gains = np.asarray(self._gains(observation))
+        for band, positions in sorted(by_band.items()):
+            noise = self._model.noise_power_w(observation.bands.bandwidth(band))
+            idx = np.asarray(positions, dtype=np.intp)
+            kept, powers, dropped = minimal_power_assignment_vec(
+                static.link_tx[idx],
+                static.link_rx[idx],
+                gains,
+                noise,
+                self._model.params.sinr_threshold,
+                static.max_power_tx[idx],
+                h_arr[idx],
+            )
+            service = self._service_pkts(band, observation)
+            for j, power in zip(kept.tolist(), powers.tolist()):
+                link = links[positions[j]]
+                decision.transmissions.append(
+                    Transmission(tx=link[0], rx=link[1], band=band, power_w=power)
+                )
+                decision.link_service_pkts[link] = (
+                    decision.link_service_pkts.get(link, 0.0) + service
+                )
+            for j in dropped:
+                link = links[positions[j]]
+                decision.dropped.append((link[0], link[1], band))
+        return decision
+
     def _power_control(
         self,
         selected: List[LinkBand],
@@ -661,7 +867,7 @@ class LinkScheduler:
                 noise_power_w=noise,
                 sinr_threshold=self._model.params.sinr_threshold,
                 max_power_w=self._model.max_power_w,
-                priority={link: h_backlogs.get(link, 0.0) for link in links},  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+                priority={link: h_backlogs.get(link, 0.0) for link in links},  # noqa: R040 - reference object path; the array path passes the (L,) backlog vector to minimal_power_assignment_vec
             )
             service = self._service_pkts(band, observation)
             for link, power in result.powers.items():  # noqa: R006 - decision-sized LP output, not network-scaled state

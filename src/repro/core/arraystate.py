@@ -84,6 +84,15 @@ class NodeArrayMapping(MappingBase):
         self._values = values
         self._convert = bool if values.dtype == np.bool_ else float
 
+    @property
+    def values_array(self) -> NodeVec:
+        """The underlying ``(N,)`` array (node id = index).
+
+        The controller's batched S4 assembly reads this directly
+        instead of materialising ``N`` scalars through ``__getitem__``.
+        """
+        return self._values
+
     def __getitem__(self, node: NodeId) -> Any:
         try:
             index = int(node)
@@ -377,3 +386,23 @@ class ArrayState:
     def z_values_array(self) -> NodeJoules:
         """``(N,)`` shifted queue values ``z = x - shift`` (Eq. 31)."""
         return self.battery_level - self.z_shift
+
+    def max_charge_j_array(self) -> NodeJoules:
+        """``(N,)`` constraint-(11) input caps, one battery per row.
+
+        Elementwise the same float64 chain as
+        :meth:`~repro.energy.battery.Battery.max_charge_j`, so the
+        batched S4 inputs match the scalar reads bit for bit.
+        """
+        headroom = (self.capacity_j - self.battery_level) / self.charge_efficiency
+        return np.minimum(self.charge_cap_j, headroom)
+
+    def max_deliverable_j_array(self) -> NodeJoules:
+        """``(N,)`` deliverable discharge caps (constraint 12 + losses).
+
+        Mirrors :meth:`~repro.energy.battery.Battery.max_deliverable_j`
+        elementwise.
+        """
+        return self.discharge_efficiency * np.minimum(
+            self.discharge_cap_j, self.battery_level
+        )

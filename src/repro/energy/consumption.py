@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+import numpy as np
+
+from repro.axes import NodeJoules, NodeVec
 from repro.config.parameters import NodeParameters
 from repro.constants import watts_over_slot_to_joules
 from repro.types import NodeId, Transmission
@@ -72,5 +75,29 @@ def all_node_demands_j(
         demands[t.tx] += watts_over_slot_to_joules(t.power_w, slot_seconds)
         demands[t.rx] += watts_over_slot_to_joules(
             node_params_by_id[t.rx].recv_power_w, slot_seconds
+        )
+    return demands
+
+
+def all_node_demands_array(
+    fixed_energy_j: NodeJoules,
+    recv_power_w: NodeVec,
+    transmissions: Iterable[Transmission],
+    slot_seconds: Seconds,
+) -> NodeJoules:
+    """``E_i(t)`` for every node as an ``(N,)`` array.
+
+    ``fixed_energy_j`` and ``recv_power_w`` are precomputed per-node
+    constants (``NodeParameters.fixed_energy_j`` / ``recv_power_w`` in
+    node-id order).  The schedule loop applies the transmission terms
+    in the same order as :func:`all_node_demands_j`, so per-node
+    accumulation — and therefore every float64 result — is
+    bit-identical to the dict path.
+    """
+    demands = fixed_energy_j.copy()
+    for t in transmissions:
+        demands[t.tx] += watts_over_slot_to_joules(float(t.power_w), slot_seconds)
+        demands[t.rx] += watts_over_slot_to_joules(
+            float(recv_power_w[t.rx]), slot_seconds
         )
     return demands

@@ -6,6 +6,7 @@ from repro.phy.capacity import link_capacity_bps, max_link_capacity_bps
 from repro.phy.power_control import (
     PowerControlResult,
     minimal_power_assignment,
+    minimal_power_assignment_vec,
 )
 from repro.phy.interference import (
     big_m_coefficient,
@@ -21,6 +22,7 @@ __all__ = [
     "max_link_capacity_bps",
     "PowerControlResult",
     "minimal_power_assignment",
+    "minimal_power_assignment_vec",
     "big_m_coefficient",
     "zero_interference_feasible",
 ]

@@ -11,12 +11,25 @@ the constraint is vacuous when the link is not scheduled.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Union
 
 import numpy as np
 
 from repro.types import NodeId
 from repro.units import Linear, Watts
+
+
+def _seq_sum(values: np.ndarray) -> float:
+    """Strict left-to-right sum, matching Python's builtin ``sum``.
+
+    Local copy of :func:`repro.core.arraystate.seq_sum` — ``phy`` is a
+    leaf package imported during ``core``'s own initialisation, so it
+    cannot import from ``core`` without a cycle.
+    """
+    flat = np.ravel(values)
+    if flat.size == 0:
+        return 0.0
+    return float(np.add.accumulate(flat)[-1])
 
 
 def zero_interference_feasible(
@@ -35,24 +48,43 @@ def zero_interference_feasible(
     return gain * max_power_w >= sinr_threshold * noise_power_w
 
 
+def max_power_array(
+    max_power_w: Union[Dict[NodeId, Watts], np.ndarray], num_nodes: int
+) -> np.ndarray:
+    """``(N,)`` per-node power caps from a dict or a ready array.
+
+    Cold path: callers cache the result per model — the caps never
+    change mid-run.
+    """
+    if isinstance(max_power_w, np.ndarray):
+        return max_power_w
+    return np.fromiter(
+        (max_power_w[k] for k in range(num_nodes)), dtype=float, count=num_nodes
+    )
+
+
 def big_m_coefficient(
     gains: np.ndarray,
     tx: NodeId,
     rx: NodeId,
     noise_power_w: Watts,
     sinr_threshold: Linear,
-    max_power_w: Dict[NodeId, Watts],
+    max_power_w: Union[Dict[NodeId, Watts], np.ndarray],
 ) -> Watts:
     """The constant ``M_ij^m`` of Eq. (24).
 
     Set to the worst-case right-hand side — every other node
     transmitting at its maximum power — so that a de-scheduled link
-    (``a_ij^m = 0``) imposes no restriction.
+    (``a_ij^m = 0``) imposes no restriction.  The interference sum runs
+    as one vectorized pass over the gain column; :func:`seq_sum` keeps
+    the accumulation order of the historical per-node loop, so the
+    constant is bit-identical.
     """
     num_nodes = gains.shape[0]
-    worst_interference = sum(  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
-        gains[k, rx] * max_power_w[k]
-        for k in range(num_nodes)  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
-        if k != tx and k != rx
-    )
+    power = max_power_array(max_power_w, num_nodes)
+    contributions = np.asarray(gains)[:, rx] * power
+    mask = np.ones(num_nodes, dtype=bool)
+    mask[tx] = False
+    mask[rx] = False
+    worst_interference = _seq_sum(contributions[mask])
     return sinr_threshold * (noise_power_w + worst_interference)

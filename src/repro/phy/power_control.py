@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.axes import LinkToNode, LinkVec
 from repro.types import Link, NodeId
 from repro.units import Linear, Watts
 
@@ -52,10 +53,10 @@ def _solve_min_powers(
 ) -> np.ndarray:
     """Exact minimal powers for ``links``; +inf rows mark infeasibility."""
     n = len(links)
-    direct = np.array([gains[tx, rx] for tx, rx in links])  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+    direct = np.array([gains[tx, rx] for tx, rx in links])  # noqa: R040 - reference object path; minimal_power_assignment_vec builds direct/cross with fancy indexing
     cross = np.zeros((n, n))
-    for l, (_, rx_l) in enumerate(links):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
-        for k, (tx_k, _) in enumerate(links):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+    for l, (_, rx_l) in enumerate(links):  # noqa: R040 - reference object path; see minimal_power_assignment_vec
+        for k, (tx_k, _) in enumerate(links):  # noqa: R040 - reference object path; see minimal_power_assignment_vec
             if k != l:
                 cross[l, k] = gains[tx_k, rx_l]
     coupling = sinr_threshold * cross / direct[:, None]
@@ -70,6 +71,78 @@ def _solve_min_powers(
         # Spectral radius >= 1: the target SINRs are jointly unachievable.
         return np.full(n, np.inf)
     return powers
+
+
+def minimal_power_assignment_vec(
+    link_tx: LinkToNode,
+    link_rx: LinkToNode,
+    gains: np.ndarray,
+    noise_power_w: Watts,
+    sinr_threshold: Linear,
+    caps: LinkVec,
+    priorities: LinkVec,
+) -> Tuple[np.ndarray, LinkVec, List[int]]:
+    """Vectorized :func:`minimal_power_assignment` over index arrays.
+
+    The direct and cross gain matrices are built once with fancy
+    indexing (``cross[l, k] = gains[tx_k, rx_l]``) instead of the
+    per-pair Python loops, and each drop iteration re-solves on an
+    ``np.ix_`` submatrix of the same values — so every
+    ``np.linalg.solve`` sees bit-identical inputs and the surviving
+    powers, drop order, and tie-breaks match the scalar routine
+    exactly (worst offender = first index of the lexicographic maximum
+    of ``(over, -priority)``; joint infeasibility falls back to the
+    first index of minimal priority).
+
+    Args:
+        link_tx / link_rx: ``(n,)`` endpoint indices of the co-band set.
+        caps: ``(n,)`` per-link transmit power caps (W).
+        priorities: ``(n,)`` keep-priorities (higher survives longer).
+
+    Returns:
+        ``(kept, powers, dropped)``: positions into the input arrays of
+        surviving links (input order), their minimal powers, and the
+        dropped positions in drop order.
+    """
+    n = int(link_tx.shape[0])
+    gains = np.asarray(gains)
+    direct = gains[link_tx, link_rx]
+    cross = gains[link_tx[:, None], link_rx[None, :]].T.copy()
+    np.fill_diagonal(cross, 0.0)
+    # Hoisted out of the drop loop: the coupling ratios and noise terms
+    # are row-local, so the surviving submatrix is a pure fancy-index
+    # of the full-set values — the same float64 chain
+    # ``(Gamma * cross[l, k]) / direct[l]`` either way.
+    full_coupling = sinr_threshold * cross / direct[:, None]
+    full_noise = sinr_threshold * noise_power_w / direct
+    sel = np.arange(n)
+    dropped: List[int] = []
+    eye = np.eye(n)
+    infeasible = np.full(n, np.inf)
+    while sel.size:
+        coupling = full_coupling[sel[:, None], sel[None, :]]
+        noise_term = full_noise[sel]
+        system = eye[: sel.size, : sel.size] - coupling
+        try:
+            powers = np.linalg.solve(system, noise_term)
+            if np.any(powers <= 0) or not np.all(np.isfinite(powers)):
+                powers = infeasible[: sel.size]
+        except np.linalg.LinAlgError:
+            powers = infeasible[: sel.size]
+        over = powers / caps[sel]
+        if np.all(over <= 1.0 + 1e-12):
+            return sel, powers, dropped
+        peak = over.max()
+        ties = np.flatnonzero(over == peak)
+        if ties.size == 1:
+            worst = int(ties[0])
+        else:
+            worst = int(ties[np.argmin(priorities[sel[ties]])])
+        if np.isinf(over[worst]):
+            worst = int(np.argmin(priorities[sel]))
+        dropped.append(int(sel[worst]))
+        sel = np.delete(sel, worst)
+    return sel, np.zeros(0), dropped
 
 
 def minimal_power_assignment(
@@ -102,7 +175,7 @@ def minimal_power_assignment(
 
     while active:
         powers = _solve_min_powers(active, gains, noise_power_w, sinr_threshold)
-        caps = np.array([max_power_w[tx] for tx, _ in active])  # noqa: R042 - per-iteration allocation pending batched kernels (ROADMAP item 1)
+        caps = np.array([max_power_w[tx] for tx, _ in active])  # noqa: R042 - reference object path; the vectorized routine hoists its loop buffers
         over = powers / caps  # > 1 means the cap is violated (inf if infeasible)
         if np.all(over <= 1.0 + 1e-12):
             for link, power in zip(active, powers):

@@ -7,7 +7,11 @@ from repro.solvers.linprog import (
     Sense,
 )
 from repro.solvers.sequential_fix import sequential_fix
-from repro.solvers.bisection import bisect_root, minimize_convex_1d
+from repro.solvers.bisection import (
+    bisect_root,
+    bisect_root_vec,
+    minimize_convex_1d,
+)
 
 __all__ = [
     "Constraint",
@@ -16,5 +20,6 @@ __all__ = [
     "Sense",
     "sequential_fix",
     "bisect_root",
+    "bisect_root_vec",
     "minimize_convex_1d",
 ]

@@ -244,6 +244,7 @@ class NetworkState:
         self._renewable_draws: List[Tuple[NodeId, RenewableProcess]] = []
         self._grid_draws: List[Tuple[NodeId, GridConnection]] = []
         self._grid_static = np.zeros(0, dtype=bool)
+        self._grid_caps = np.zeros(0)
 
     def _current_gains(self, slot: int):
         """Per-slot gain matrix under mobility; None when static."""
@@ -291,6 +292,11 @@ class NetworkState:
         self._renewable_draws = renewable_draws
         self._grid_draws = grid_draws
         self._grid_static = grid_static
+        self._grid_caps = np.fromiter(
+            (grid.draw_cap_j for grid in self.grids.values()),
+            dtype=float,
+            count=self.model.num_nodes,
+        )
         self._plan_token = token
 
     def observe(self, slot: int) -> SlotObservation:
@@ -360,6 +366,16 @@ class NetworkState:
         return LinkArrayMapping(
             self.virtual_queues.h_array(), self.arrays.links, self.arrays.link_pos
         )
+
+    def grid_caps_array(self) -> np.ndarray:
+        """``(N,)`` grid draw caps, rebuilt when grid bindings change.
+
+        Values are the same floats the per-node
+        ``grids[node].draw_cap_j`` reads return; the batched controller
+        uses this to assemble S4 inputs without a per-node loop.
+        """
+        self._refresh_sampling_plan()
+        return self._grid_caps
 
     def z_values(self) -> Mapping[NodeId, float]:
         """``z_i(t)`` for every node (frozen at read time)."""

@@ -12,6 +12,7 @@ from repro.phy import (
     link_capacity_bps,
     max_link_capacity_bps,
     minimal_power_assignment,
+    minimal_power_assignment_vec,
     propagation_gain,
     sinr,
     total_interference,
@@ -203,3 +204,47 @@ class TestPowerControl:
             if gains[tx, rx] * power / (1e-10 + interference) < 1.0 - 1e-9:
                 ok = False
         assert not ok
+
+
+class TestPowerControlVec:
+    """minimal_power_assignment_vec vs the scalar reference, bitwise."""
+
+    def test_fuzz_matches_scalar(self):
+        rng = np.random.default_rng(13)
+        for _ in range(60):
+            num_nodes = int(rng.integers(4, 12))
+            positions = rng.uniform(0.0, 2000.0, (num_nodes, 2))
+            gains = TestPowerControl._gains(positions)
+            n_links = int(rng.integers(1, 7))
+            pairs = set()
+            while len(pairs) < n_links:
+                tx, rx = rng.integers(0, num_nodes, 2)
+                if tx != rx:
+                    pairs.add((int(tx), int(rx)))
+            links = sorted(pairs)
+            caps_map = {i: float(rng.uniform(0.01, 5.0)) for i in range(num_nodes)}
+            priority = {link: float(rng.uniform(0.0, 10.0)) for link in links}
+            threshold = float(rng.uniform(0.5, 4.0))
+
+            scalar = minimal_power_assignment(
+                links, gains, 1e-10, threshold, caps_map, priority
+            )
+            link_tx = np.array([tx for tx, _ in links], dtype=np.intp)
+            link_rx = np.array([rx for _, rx in links], dtype=np.intp)
+            caps = np.array([caps_map[tx] for tx, _ in links])
+            priorities = np.array([priority[link] for link in links])
+            kept, powers, dropped = minimal_power_assignment_vec(
+                link_tx, link_rx, gains, 1e-10, threshold, caps, priorities
+            )
+            assert [links[i] for i in dropped] == scalar.dropped
+            assert [links[i] for i in kept] == list(scalar.scheduled)
+            for pos, power in zip(kept, powers):
+                assert float(power) == scalar.powers[links[pos]]
+
+    def test_empty_set(self):
+        gains = TestPowerControl._gains([[0, 0], [10, 0]])
+        kept, powers, dropped = minimal_power_assignment_vec(
+            np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp),
+            gains, 1e-10, 1.0, np.zeros(0), np.zeros(0),
+        )
+        assert kept.size == 0 and powers.size == 0 and dropped == []

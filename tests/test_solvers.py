@@ -3,6 +3,7 @@ bisection/golden-section."""
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.exceptions import InfeasibleError, SolverError
@@ -10,6 +11,7 @@ from repro.solvers import (
     LinearProgram,
     Sense,
     bisect_root,
+    bisect_root_vec,
     minimize_convex_1d,
     sequential_fix,
 )
@@ -214,3 +216,46 @@ class TestBisection:
 
     def test_golden_section_degenerate_interval(self):
         assert minimize_convex_1d(lambda t: t * t, 3.0, 3.0) == 3.0
+
+
+class TestBisectionVec:
+    """bisect_root_vec must be a bit-identical batch of bisect_root."""
+
+    def test_matches_scalar_bitwise(self):
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            k = int(rng.integers(1, 12))
+            slope = rng.uniform(0.1, 5.0, k)
+            root = rng.uniform(-20.0, 20.0, k)
+            lo = root - rng.uniform(0.0, 30.0, k)
+            hi = root + rng.uniform(0.0, 30.0, k)
+            vec = bisect_root_vec(
+                lambda x: slope * (x - root) ** 3, lo, hi
+            )
+            for i in range(k):
+                s, r = float(slope[i]), float(root[i])
+                scalar = bisect_root(
+                    lambda x: s * (x - r) ** 3, float(lo[i]), float(hi[i])
+                )
+                assert vec[i] == scalar
+
+    def test_endpoint_short_circuits(self):
+        lo = np.array([0.0, 0.0])
+        hi = np.array([1.0, 1.0])
+        # Residual positive everywhere -> lo; negative everywhere -> hi.
+        out = bisect_root_vec(
+            lambda x: np.where(np.arange(2) == 0, x + 10.0, x - 10.0), lo, hi
+        )
+        assert out[0] == 0.0
+        assert out[1] == 1.0
+
+    def test_singleton_batch_is_scalar(self):
+        vec = bisect_root_vec(
+            lambda x: np.exp(x) - 5.0, np.array([0.0]), np.array([5.0])
+        )
+        scalar = bisect_root(lambda x: math.exp(x) - 5.0, 0.0, 5.0)
+        assert float(vec[0]) == scalar
+
+    def test_inverted_interval_raises(self):
+        with pytest.raises(SolverError):
+            bisect_root_vec(lambda x: x, np.array([1.0]), np.array([0.0]))
