@@ -228,7 +228,7 @@ class ContractChecker:
         gains = (
             observation.gains
             if observation.gains is not None
-            else model.topology.gains
+            else model.topology.gains_lookup()
         )
         threshold = model.params.sinr_threshold
         for t in schedule.transmissions:
@@ -269,7 +269,7 @@ class ContractChecker:
         if not self.enabled:
             return
         bs_set = set(model.bs_ids)
-        k_max = {s.session_id: s.k_max for s in model.sessions}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        k_max = {s.session_id: s.k_max for s in model.sessions}  # noqa: R040 - S-sized dict (S stays O(10)); contracts are a diagnostic layer, off by default
         for session, source in admission.sources.items():
             if source not in bs_set:
                 self._violate(

@@ -204,33 +204,52 @@ class DriftPlusPenaltyController:
         )
         self.last_deficit_j = {}
 
+        # The reference loop rescans all N nodes after every clamp,
+        # which is O(N^2) when many nodes run an energy deficit (e.g.
+        # renewables off).  Clamping a node's supply never changes any
+        # demand and never overloads another node, so all deficit-only
+        # nodes of one scan are clamped in a single ascending pass —
+        # exactly the order the rescan would visit them — and demands
+        # are rebuilt only when a transmission is actually removed.
+        demands = all_node_demands_array(
+            self._fixed_energy_arr,
+            self._recv_power_arr,
+            schedule.transmissions,
+            params.slot_seconds,
+        )
         while True:
-            demands = all_node_demands_array(
-                self._fixed_energy_arr,
-                self._recv_power_arr,
-                schedule.transmissions,
-                params.slot_seconds,
-            )
             overloaded = np.flatnonzero(demands > supply + _ENERGY_TOL)
             if overloaded.size == 0:
                 return demands
 
-            node = int(overloaded[0])
-            involved = [
-                t for t in schedule.transmissions if node in (t.tx, t.rx)
-            ]
-            if not involved:
+            involved_by_node: Dict[NodeId, List[Transmission]] = {}
+            for t in schedule.transmissions:
+                involved_by_node.setdefault(t.tx, []).append(t)
+                involved_by_node.setdefault(t.rx, []).append(t)
+
+            removed = False
+            for node in map(int, overloaded):
+                involved = involved_by_node.get(node, [])
+                if involved:
+                    victim = min(
+                        involved, key=lambda t: h_backlogs.get(t.link, 0.0)
+                    )
+                    self._remove_transmission(schedule, victim)
+                    demands = all_node_demands_array(
+                        self._fixed_energy_arr,
+                        self._recv_power_arr,
+                        schedule.transmissions,
+                        params.slot_seconds,
+                    )
+                    removed = True
+                    break
                 deficit = float(demands[node] - supply[node])
                 self.last_deficit_j[node] = (
                     self.last_deficit_j.get(node, 0.0) + deficit
                 )
                 supply[node] = demands[node]
-                continue
-
-            victim = min(
-                involved, key=lambda t: h_backlogs.get(t.link, 0.0)
-            )
-            self._remove_transmission(schedule, victim)
+            if not removed:
+                return demands
 
     def _curtail(
         self,

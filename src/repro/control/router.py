@@ -63,13 +63,11 @@ class _RouterStatic:
     Attributes:
         eligible: ``(L, S)`` constraint-(17) mask — True where neither
             endpoint of link ``p`` is session ``c``'s destination.
-        common_bands: per link, the static common-band set
-            ``M_i ∩ M_j`` (used when band access is not dynamic).
-        band_member: ``(L, M)`` bool form of ``common_bands``.
+        band_member: ``(L, M)`` bool form of the static common-band
+            sets ``M_i ∩ M_j``.
     """
 
     eligible: LinkSessionMat
-    common_bands: Tuple[frozenset, ...]
     band_member: LinkBandMat
 
 
@@ -146,14 +144,17 @@ class BackpressureRouter:
             arrays.link_rx[:, None] != dests[None, :]
         )
         spectrum = self._model.spectrum
-        common = tuple(spectrum.common_bands(tx, rx) for tx, rx in arrays.links)
-        band_member = np.zeros((len(arrays.links), spectrum.num_bands), dtype=bool)
-        for pos, bands in enumerate(common):
+        # (N, M) access table fancy-indexed by the link endpoints — the
+        # O(N + L) numpy form of the per-link common-band set loop.
+        access = np.zeros(
+            (self._model.num_nodes, spectrum.num_bands), dtype=bool
+        )
+        for node, bands in spectrum.access_sets().items():
             for band in bands:
-                band_member[pos, band] = True
+                access[node, band] = True
+        band_member = access[arrays.link_tx] & access[arrays.link_rx]
         static = _RouterStatic(
             eligible=eligible,
-            common_bands=common,
             band_member=band_member,
         )
         self._static_cache = (arrays, static)

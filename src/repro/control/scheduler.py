@@ -39,7 +39,7 @@ from repro.core.arraystate import LinkArrayMapping, NodeArrayMapping
 from repro.core.lyapunov import LyapunovConstants
 from repro.model import NetworkModel
 from repro.phy.capacity import max_link_capacity_bps
-from repro.phy.interference import big_m_coefficient
+from repro.phy.interference import big_m_coefficient, max_power_array
 from repro.phy.power_control import (
     minimal_power_assignment,
     minimal_power_assignment_vec,
@@ -62,8 +62,6 @@ class _SchedulerStatic(NamedTuple):
         link_rx: ``(L,)`` receiver index per candidate link.
         band_member: ``(L, M)`` bool form of the static common-band
             sets ``M_i ∩ M_j``.
-        band_order: per-link band ids in the exact frozenset iteration
-            order of the scalar loop (candidate-dict insertion order).
         max_power_tx: ``(L,)`` transmitter power cap per link (W).
         recv_power_rx: ``(L,)`` receiver listening power per link (W).
     """
@@ -71,7 +69,6 @@ class _SchedulerStatic(NamedTuple):
     link_tx: LinkToNode
     link_rx: LinkToNode
     band_member: LinkBandMat
-    band_order: Tuple[Tuple[int, ...], ...]
     max_power_tx: LinkVec
     recv_power_rx: LinkVec
 
@@ -131,6 +128,10 @@ class LinkScheduler:
         self._kind = kind
         self._checker = checker
         self._static_cache: Optional[Tuple[Tuple[Link, ...], _SchedulerStatic]] = None
+        self._band_order_cache: Optional[
+            Tuple[Tuple[Link, ...], Tuple[Tuple[int, ...], ...]]
+        ] = None
+        self._access_cache: Optional[np.ndarray] = None
 
     @property
     def kind(self) -> SchedulerKind:
@@ -154,10 +155,17 @@ class LinkScheduler:
         return bps * params.slot_seconds / params.sessions.packet_size_bits
 
     def _gains(self, observation: SlotObservation):
-        """The slot's gain matrix (mobility-aware)."""
+        """The slot's pair gains (mobility-aware).
+
+        Returns the slot's dense matrix under mobility, else the
+        topology's gain lookup — the materialised matrix view or the
+        position-computed view when the sparse topology skipped the
+        O(N^2) matrices.  Scalar ``[tx, rx]`` indexing and the
+        ``submatrix``/``column`` blocks are bit-identical either way.
+        """
         if observation.gains is not None:
             return observation.gains
-        return self._model.topology.gains
+        return self._model.topology.gains_lookup()
 
     def _min_tx_power_w(
         self, tx: NodeId, rx: NodeId, band: int, observation: SlotObservation
@@ -172,44 +180,82 @@ class LinkScheduler:
             return None
         return power
 
+    def _access_matrix(self) -> np.ndarray:
+        """``(N, M)`` bool band-access table from the static sets.
+
+        Cold path: built once per run — the access sets are drawn at
+        model construction and never change.
+        """
+        cached = self._access_cache
+        if cached is None:
+            spectrum = self._model.spectrum
+            cached = np.zeros(
+                (self._model.num_nodes, spectrum.num_bands), dtype=bool
+            )
+            for node, bands in spectrum.access_sets().items():
+                for band in bands:
+                    cached[node, band] = True
+            self._access_cache = cached
+        return cached
+
+    def _band_orders(
+        self, links: Tuple[Link, ...]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Per-link band ids in the scalar loop's frozenset iteration order.
+
+        Only the dict candidate path (SF / matching selectors) needs the
+        insertion order; the array selectors work off the ``(L, M)``
+        membership mask, so this O(L) Python table is built lazily and
+        never touched by the large-scale GREEDY path.
+        """
+        cached = self._band_order_cache
+        if cached is not None and cached[0] is links:
+            return cached[1]
+        spectrum = self._model.spectrum
+        orders = tuple(
+            tuple(spectrum.common_bands(tx, rx)) for tx, rx in links  # noqa: R040 - built once per topology (identity-cached), only for the small-N dict selectors; the array selectors never call this
+        )
+        self._band_order_cache = (links, orders)
+        return orders
+
     def _scheduler_static(self, links: Tuple[Link, ...]) -> _SchedulerStatic:
         """Per-topology index tables for the vectorized candidate pass.
 
         Cold path: built once per candidate-link tuple (keyed by
         identity) — radios, power caps, and the static band sets never
-        change mid-run.
+        change mid-run.  All tables are per-node arrays fancy-indexed by
+        the frozen link endpoints, so construction is O(N + L) numpy
+        work with no per-link Python loop.
         """
         cached = self._static_cache
         if cached is not None and cached[0] is links:
             return cached[1]
-        spectrum = self._model.spectrum
-        count = len(links)
-        link_tx = np.fromiter((tx for tx, _ in links), dtype=np.intp, count=count)
-        link_rx = np.fromiter((rx for _, rx in links), dtype=np.intp, count=count)
-        band_order = tuple(
-            tuple(spectrum.common_bands(tx, rx)) for tx, rx in links
-        )
-        band_member = np.zeros((count, spectrum.num_bands), dtype=bool)
-        for pos, bands in enumerate(band_order):
-            for band in bands:
-                band_member[pos, band] = True
-        max_power_tx = np.fromiter(
-            (self._model.max_power_w[tx] for tx, _ in links),
+        topology = self._model.topology
+        if topology.candidate_links is links:
+            link_tx, link_rx = topology.link_arrays()
+        else:
+            count = len(links)
+            link_tx = np.fromiter(
+                (tx for tx, _ in links), dtype=np.intp, count=count
+            )
+            link_rx = np.fromiter(
+                (rx for _, rx in links), dtype=np.intp, count=count
+            )
+        access = self._access_matrix()
+        band_member = access[link_tx] & access[link_rx]
+        num_nodes = self._model.num_nodes
+        max_power = max_power_array(self._model.max_power_w, num_nodes)
+        recv_power = np.fromiter(
+            (node.radio.recv_power_w for node in self._model.nodes),
             dtype=float,
-            count=count,
-        )
-        recv_power_rx = np.fromiter(
-            (self._model.nodes[rx].radio.recv_power_w for _, rx in links),
-            dtype=float,
-            count=count,
+            count=num_nodes,
         )
         static = _SchedulerStatic(
             link_tx=link_tx,
             link_rx=link_rx,
             band_member=band_member,
-            band_order=band_order,
-            max_power_tx=max_power_tx,
-            recv_power_rx=recv_power_rx,
+            max_power_tx=max_power[link_tx],
+            recv_power_rx=recv_power[link_rx],
         )
         self._static_cache = (links, static)
         return static
@@ -221,12 +267,19 @@ class LinkScheduler:
         energy_prices: Optional[Mapping[NodeId, float]],
         links: Tuple[Link, ...],
     ) -> Optional[
-        Tuple[np.ndarray, Sequence[Tuple[int, ...]], np.ndarray, np.ndarray]
+        Tuple[
+            np.ndarray,
+            Optional[Sequence[Tuple[int, ...]]],
+            np.ndarray,
+            np.ndarray,
+        ]
     ]:
         """Net candidate weights as ``(active links, bands)`` arrays.
 
         Returns ``(active, orders, keep, weight)`` — the active link
-        positions, their per-link band iteration orders, the survivor
+        positions, their per-link band iteration orders (None in the
+        static-band case, where only the dict path needs them and
+        resolves them lazily via :meth:`_band_orders`), the survivor
         mask, and the weight matrix — or ``None`` when no link clears
         the backlog floor.  The elementwise float64 chain mirrors the
         scalar candidate loop's operation order bit for bit.
@@ -246,7 +299,7 @@ class LinkScheduler:
             dtype=float,
             count=num_bands,
         )
-        orders: Sequence[Tuple[int, ...]]
+        orders: Optional[Sequence[Tuple[int, ...]]]
         if observation.band_access is not None:
             member = np.zeros((active.size, num_bands), dtype=bool)
             dyn_orders: List[Tuple[int, ...]] = []
@@ -261,7 +314,7 @@ class LinkScheduler:
             orders = dyn_orders
         else:
             member = static.band_member[active]
-            orders = [static.band_order[pos] for pos in active]
+            orders = None
 
         keep = member & (service[None, :] > 0.0)
         weight = (beta * h_arr[active])[:, None] * service[None, :]
@@ -276,7 +329,13 @@ class LinkScheduler:
             )
             tx_idx = static.link_tx[active]
             rx_idx = static.link_rx[active]
-            g_link = np.asarray(self._gains(observation))[tx_idx, rx_idx]
+            if observation.gains is not None:
+                g_link = np.asarray(observation.gains)[tx_idx, rx_idx]
+            else:
+                # The frozen per-link gain array is bitwise equal to
+                # ``gains[link_tx, link_rx]`` in every topology mode,
+                # so no (N, N) matrix read is needed.
+                g_link = self._model.topology.link_gain_array()[active]
             power = (params.sinr_threshold * noise)[None, :] / g_link[:, None]
             keep &= power <= static.max_power_tx[active][:, None]
             if isinstance(energy_prices, np.ndarray):
@@ -317,11 +376,13 @@ class LinkScheduler:
         if grid is None:
             return weights
         active, orders, keep, weight = grid
+        static_orders = self._band_orders(links) if orders is None else None
         for i, pos in enumerate(active):
             tx, rx = links[pos]
             keep_row = keep[i]
             weight_row = weight[i]
-            for band in orders[i]:
+            order = orders[i] if orders is not None else static_orders[pos]
+            for band in order:
                 if keep_row[band]:
                     weights[(tx, rx, band)] = weight_row[band]
         return weights
@@ -820,7 +881,10 @@ class LinkScheduler:
         for pos, band in zip(chosen_pos, chosen_band):
             by_band.setdefault(band, []).append(pos)
 
-        gains = np.asarray(self._gains(observation))
+        # The dense matrix under mobility, else the topology's pair-gain
+        # lookup; minimal_power_assignment_vec accepts both and produces
+        # bit-identical solves.
+        gains = self._gains(observation)
         for band, positions in sorted(by_band.items()):
             noise = self._model.noise_power_w(observation.bands.bandwidth(band))
             idx = np.asarray(positions, dtype=np.intp)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping as MappingBase
 from collections.abc import MutableMapping as MutableMappingBase
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -258,16 +258,15 @@ class ArrayState:
         }
         self.destinations = destinations
         self.links = links
-        self.link_pos: Dict[Link, int] = {link: p for p, link in enumerate(links)}
-        self.link_tx = np.fromiter(
-            (link[0] for link in links), dtype=np.intp, count=len(links)
-        )
-        self.link_rx = np.fromiter(
-            (link[1] for link in links), dtype=np.intp, count=len(links)
-        )
+        # The frozen endpoint arrays come straight off the topology —
+        # both builders precompute them, so no per-link Python loop runs
+        # here; the ``link -> position`` dict is built lazily because
+        # only the scalar router paths read it.
+        self.link_tx, self.link_rx = model.topology.link_arrays()
+        self._link_pos: Optional[Dict[Link, int]] = None
 
-        self.q = np.zeros((num_nodes, len(sessions)))  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
-        valid = np.ones((num_nodes, len(sessions)), dtype=bool)  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
+        self.q = np.zeros((num_nodes, len(sessions)))  # noqa: R041 - (N, S) data backlog is the paper's state itself, not an all-pairs matrix; S stays O(10) while N scales
+        valid = np.ones((num_nodes, len(sessions)), dtype=bool)  # noqa: R041 - (N, S) mask over the data backlog, same shape argument as q above
         for sid, dest in destinations.items():
             if 0 <= dest < num_nodes:
                 valid[dest, self.session_col[sid]] = False
@@ -309,13 +308,27 @@ class ArrayState:
     # ------------------------------------------------------------------
     # Index helpers
 
+    @property
+    def link_pos(self) -> Dict[Link, int]:
+        """``link -> position`` over the frozen link index (lazy).
+
+        Only the scalar router paths and a handful of boundary
+        conversions read this; the array paths index by position
+        directly, so large-L runs never pay for the dict.
+        """
+        cached = self._link_pos
+        if cached is None:
+            cached = {link: p for p, link in enumerate(self.links)}
+            self._link_pos = cached
+        return cached
+
     def queue_keys(self) -> Tuple[QueueKey, ...]:
         """Valid ``(node, session)`` keys, node-major (lazily built)."""
         if not self._q_keys and self.q_valid.any():
             keys = []
             pos: Dict[QueueKey, Tuple[int, int]] = {}
-            for row in range(self.num_nodes):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
-                for col, sid in enumerate(self.sessions):  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            for row in range(self.num_nodes):  # noqa: R040 - built once and cached (self._q_keys); only the dict-shaped selectors and snapshots read it, the array kernels index (N, S) directly
+                for col, sid in enumerate(self.sessions):  # noqa: R040 - inner S-sized loop of the one-time key build above
                     if self.q_valid[row, col]:
                         keys.append((row, sid))
                         pos[(row, sid)] = (row, col)

@@ -122,7 +122,7 @@ class RelaxedLpController:
         gains = (
             observation.gains
             if observation.gains is not None
-            else self._model.topology.gains
+            else self._model.topology.gains_lookup()
         )
         power = params.sinr_threshold * noise / gains[tx, rx]
         if power > self._model.max_power_w[tx]:
@@ -144,7 +144,7 @@ class RelaxedLpController:
         # Activation variables with their Psi-hat_1 coefficients, plus
         # bookkeeping for the capacity and energy couplings.
         link_bands: Dict[Tuple[NodeId, NodeId], List[Tuple[int, float, float]]] = {}
-        for tx, rx in model.topology.candidate_links:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for tx, rx in model.topology.candidate_links:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             entries = []
             for band in observation.common_bands(model, tx, rx):
                 power = self._min_power_w(tx, rx, band, observation)
@@ -165,7 +165,7 @@ class RelaxedLpController:
         # Radio constraint (22), relaxed; the budget is the node's
         # radio count (1 in the paper — a tighter rhs would invalidate
         # the lower bound for multi-radio scenarios).
-        per_node: Dict[NodeId, Dict] = {n: {} for n in range(model.num_nodes)}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        per_node: Dict[NodeId, Dict] = {n: {} for n in range(model.num_nodes)}  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
         for (tx, rx), entries in link_bands.items():
             for band, _, _ in entries:
                 per_node[tx][("a", tx, rx, band)] = 1.0
@@ -185,7 +185,7 @@ class RelaxedLpController:
             for band, service, _ in entries:
                 cap_coeffs[("a", tx, rx, band)] = -service
             any_l = False
-            for session in model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+            for session in model.sessions:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
                 sid = session.session_id
                 if tx == destinations[sid]:
                     continue  # (17)
@@ -209,7 +209,7 @@ class RelaxedLpController:
         # single node to apply it to.  Dropping a constraint enlarges
         # the feasible set and can only lower the LP optimum, which
         # keeps the final lower bound valid.
-        for session in model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for session in model.sessions:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             sid = session.session_id
             dest = session.destination
             coeffs = {
@@ -225,7 +225,7 @@ class RelaxedLpController:
 
         # Relaxed admission: per-BS k_{s,b} with total cap K_max; the
         # Psi-hat_2 coefficient is (Q_b^s - lambda V).
-        for session in model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for session in model.sessions:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             sid = session.session_id
             total = {}
             for bs in model.bs_ids:
@@ -243,7 +243,7 @@ class RelaxedLpController:
         bs_set = set(model.bs_ids)
         z = state.z_values()
         p_coeffs: Dict = {}
-        for node_obj in model.nodes:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for node_obj in model.nodes:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             node = node_obj.node_id
             battery = state.batteries[node]
             connected = observation.grid_connected[node]
@@ -401,7 +401,7 @@ class RelaxedLpController:
         sources: Dict[SessionId, NodeId] = {}
         admitted: Dict[SessionId, float] = {}
         split: Dict[SessionId, Tuple[Tuple[NodeId, float], ...]] = {}
-        for session in model.sessions:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for session in model.sessions:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             sid = session.session_id
             pairs = tuple(
                 (bs, solution.values[("k", sid, bs)])
@@ -418,7 +418,7 @@ class RelaxedLpController:
         )
 
         allocations: Dict[NodeId, NodeEnergyAllocation] = {}
-        for node_obj in model.nodes:  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        for node_obj in model.nodes:  # noqa: R040 - offline Theorem-5 LP assembly; runs once per scenario, never inside the slot loop
             node = node_obj.node_id
             renewable = observation.renewable_j[node]
             r = solution.values[("r", node)]

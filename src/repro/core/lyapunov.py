@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping
 
+import numpy as np
+
 from repro.model import NetworkModel
 from repro.phy.capacity import max_link_capacity_bps
 from repro.types import Link, NodeId
@@ -46,23 +48,37 @@ class LyapunovConstants:
 
 
 def _per_link_max_packets(model: NetworkModel) -> Dict[Link, float]:
-    """``c_max_ij * delta_t / delta`` per candidate link (packets)."""
+    """``c_max_ij * delta_t / delta`` per candidate link (packets).
+
+    One ``(L, M)`` band-membership mask replaces the per-link Python
+    scan over common bands; the best common-band capacity is an exact
+    max over non-negative per-band capacities (0.0 where the band is
+    not shared), so the result is bit-identical to the scalar loop at
+    O(N + L M) instead of O(L M) Python-interpreted work.
+    """
     params = model.params
+    spectrum = model.spectrum
+    links = model.topology.candidate_links
+    if not links:
+        return {}
     delta_bits = params.sessions.packet_size_bits
-    caps: Dict[Link, float] = {}
-    for tx, rx in model.topology.candidate_links:
-        common = model.spectrum.common_bands(tx, rx)
-        best_bps = max(
-            (
-                max_link_capacity_bps(
-                    model.spectrum.bands[m].max_bandwidth_hz, params.sinr_threshold
-                )
-                for m in common
-            ),
-            default=0.0,
-        )
-        caps[(tx, rx)] = best_bps * params.slot_seconds / delta_bits
-    return caps
+    band_caps = np.fromiter(
+        (
+            max_link_capacity_bps(band.max_bandwidth_hz, params.sinr_threshold)
+            for band in spectrum.bands
+        ),
+        dtype=float,
+        count=spectrum.num_bands,
+    )
+    access = np.zeros((model.num_nodes, spectrum.num_bands), dtype=bool)
+    for node, bands in spectrum.access_sets().items():
+        for band in bands:
+            access[node, band] = True
+    link_tx, link_rx = model.topology.link_arrays()
+    member = access[link_tx] & access[link_rx]
+    best_bps = np.where(member, band_caps[np.newaxis, :], 0.0).max(axis=1)
+    pkts = best_bps * params.slot_seconds / delta_bits
+    return dict(zip(links, pkts.tolist()))
 
 
 def compute_constants(model: NetworkModel) -> LyapunovConstants:
@@ -89,16 +105,23 @@ def compute_constants(model: NetworkModel) -> LyapunovConstants:
     k_max = params.sessions.k_max(params.slot_seconds)
     bs_set = set(model.bs_ids)
 
+    # Per-node worst-case outgoing/incoming link service in one O(L)
+    # pass (running max is exact, so this matches the old per-node
+    # scans bit for bit at O(N + L) instead of O(N * L)).
+    out_cap = [0.0] * model.num_nodes
+    in_cap = [0.0] * model.num_nodes
+    for (tx, rx), cap in link_caps.items():
+        if cap > out_cap[tx]:
+            out_cap[tx] = cap
+        if cap > in_cap[rx]:
+            in_cap[rx] = cap
+
     data_term = 0.0
     for node in range(model.num_nodes):
-        out_caps = [
-            cap for (tx, _), cap in link_caps.items() if tx == node
-        ]
-        in_caps = [cap for (_, rx), cap in link_caps.items() if rx == node]
         # With R radios a node can serve/receive up to R links at once.
         radios = model.nodes[node].radio.num_radios
-        max_out = radios * max(out_caps, default=0.0)
-        max_in = radios * max(in_caps, default=0.0)
+        max_out = radios * out_cap[node]
+        max_in = radios * in_cap[node]
         admission = float(k_max) if node in bs_set else 0.0
         for _session in model.sessions:
             data_term += 0.5 * (max_out**2 + (max_in + admission) ** 2)

@@ -86,7 +86,7 @@ class NetworkModel:
 
     def session_destinations(self) -> Dict[int, NodeId]:
         """Session id -> destination node id."""
-        return {s.session_id: s.destination for s in self.sessions}  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+        return {s.session_id: s.destination for s in self.sessions}  # noqa: R040 - S-sized dict (S stays O(10)); the engine builds it once at construction and caches it
 
 
 def build_network_model(

@@ -131,6 +131,6 @@ def gain_matrix_for_positions(
     from repro.phy.propagation import gain_matrix
 
     coords = np.array([[p.x, p.y] for p in positions])
-    diffs = coords[:, None, :] - coords[None, :, :]  # noqa: R041 - dense all-pairs construction pending sub-quadratic topology (ROADMAP item 2)
+    diffs = coords[:, None, :] - coords[None, :, :]  # noqa: R041 - per-slot all-pairs gains under the mobility extension, which runs at small N; the scale path (static users) never calls this — sparse per-slot gains are a ROADMAP item
     distances = np.sqrt((diffs**2).sum(axis=2))
     return gain_matrix(distances, constant, exponent)

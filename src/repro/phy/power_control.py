@@ -18,13 +18,19 @@ dropped in increasing priority order, reproducing Eq. (1)'s
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.axes import LinkToNode, LinkVec
+from repro.phy.propagation import ComputedPairGains, DensePairGains
 from repro.types import Link, NodeId
 from repro.units import Linear, Watts
+
+#: Gain inputs accepted by the solvers: the dense ``(N, N)`` matrix or
+#: a pair-gain view over node positions (scalar ``g[tx, rx]`` indexing
+#: and ``submatrix`` blocks are bit-identical either way).
+GainsLike = Union[np.ndarray, DensePairGains, ComputedPairGains]
 
 
 @dataclass
@@ -47,7 +53,7 @@ class PowerControlResult:
 
 def _solve_min_powers(
     links: Sequence[Link],
-    gains: np.ndarray,
+    gains: GainsLike,
     noise_power_w: Watts,
     sinr_threshold: Linear,
 ) -> np.ndarray:
@@ -76,7 +82,7 @@ def _solve_min_powers(
 def minimal_power_assignment_vec(
     link_tx: LinkToNode,
     link_rx: LinkToNode,
-    gains: np.ndarray,
+    gains: GainsLike,
     noise_power_w: Watts,
     sinr_threshold: Linear,
     caps: LinkVec,
@@ -96,6 +102,12 @@ def minimal_power_assignment_vec(
 
     Args:
         link_tx / link_rx: ``(n,)`` endpoint indices of the co-band set.
+        gains: the ``(N, N)`` gain matrix, or a pair-gain view
+            (:class:`~repro.phy.propagation.ComputedPairGains` /
+            :class:`~repro.phy.propagation.DensePairGains`) when the
+            topology skips the dense matrix — the view's ``submatrix``
+            returns the identical float64 values, so both inputs yield
+            bit-identical solves.
         caps: ``(n,)`` per-link transmit power caps (W).
         priorities: ``(n,)`` keep-priorities (higher survives longer).
 
@@ -105,9 +117,13 @@ def minimal_power_assignment_vec(
         dropped positions in drop order.
     """
     n = int(link_tx.shape[0])
-    gains = np.asarray(gains)
-    direct = gains[link_tx, link_rx]
-    cross = gains[link_tx[:, None], link_rx[None, :]].T.copy()
+    if isinstance(gains, np.ndarray):
+        direct = gains[link_tx, link_rx]
+        cross = gains[link_tx[:, None], link_rx[None, :]].T.copy()
+    else:
+        block = gains.submatrix(link_tx, link_rx)  # [k, l] = g(tx_k, rx_l)
+        direct = block.diagonal().copy()
+        cross = block.T.copy()
     np.fill_diagonal(cross, 0.0)
     # Hoisted out of the drop loop: the coupling ratios and noise terms
     # are row-local, so the surviving submatrix is a pure fancy-index
@@ -147,7 +163,7 @@ def minimal_power_assignment_vec(
 
 def minimal_power_assignment(
     links: Sequence[Link],
-    gains: np.ndarray,
+    gains: GainsLike,
     noise_power_w: Watts,
     sinr_threshold: Linear,
     max_power_w: Dict[NodeId, Watts],

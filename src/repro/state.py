@@ -361,7 +361,7 @@ class NetworkState:
         if self.arrays is None:
             return {
                 link: self.virtual_queues.h(link)
-                for link in self.model.topology.candidate_links  # noqa: R040 - per-item Python loop pending batched S1/S4 kernels (ROADMAP item 1)
+                for link in self.model.topology.candidate_links  # noqa: R040 - reference dict path (arrays is None); the array path returns a LinkArrayMapping view below
             }
         return LinkArrayMapping(
             self.virtual_queues.h_array(), self.arrays.links, self.arrays.link_pos

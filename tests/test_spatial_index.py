@@ -1,0 +1,181 @@
+"""Property tests for the uniform-grid spatial index.
+
+The grid index is the foundation of the sub-quadratic topology builder,
+so its radius queries must agree with the brute-force O(N^2) reference
+*exactly* — same indices, same order — across adversarial layouts:
+uniform, clustered, co-located points, and points sitting precisely on
+bucket boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.geometry import (
+    MAX_CELLS_PER_AXIS,
+    UniformGridIndex,
+    brute_force_radius_query,
+    clustered_placement,
+    uniform_random_placement,
+)
+
+
+def _points_array(points) -> np.ndarray:
+    return np.array([[p.x, p.y] for p in points])
+
+
+def _assert_queries_match(
+    positions: np.ndarray, cell_size_m: float, queries, radii
+) -> None:
+    index = UniformGridIndex(positions, cell_size_m=cell_size_m)
+    for x, y in queries:
+        for radius in radii:
+            got = index.query_radius(x, y, radius)
+            want = brute_force_radius_query(positions, x, y, radius)
+            np.testing.assert_array_equal(
+                got,
+                want,
+                err_msg=f"query ({x}, {y}) radius {radius} "
+                f"cell {cell_size_m}",
+            )
+
+
+class TestQueryRadiusEqualsBruteForce:
+    RADII = (0.0, 1.0, 37.5, 150.0, 400.0, 5000.0)
+
+    def test_uniform_layout(self):
+        rng = np.random.default_rng(7)
+        positions = _points_array(uniform_random_placement(300, 2000.0, rng))
+        queries = [(0.0, 0.0), (1000.0, 1000.0), (2500.0, -100.0)]
+        queries += [tuple(p) for p in positions[:5]]
+        for cell in (50.0, 400.0, 3000.0):
+            _assert_queries_match(positions, cell, queries, self.RADII)
+
+    def test_clustered_layout(self):
+        rng = np.random.default_rng(11)
+        positions = _points_array(
+            clustered_placement(250, 2000.0, rng, num_clusters=4)
+        )
+        queries = [tuple(p) for p in positions[:5]] + [(1000.0, 1000.0)]
+        for cell in (100.0, 900.0):
+            _assert_queries_match(positions, cell, queries, self.RADII)
+
+    def test_co_located_points(self):
+        # Many points at identical coordinates exercise bucket counting
+        # and the ascending-order guarantee under heavy ties.
+        positions = np.array(
+            [[100.0, 100.0]] * 40 + [[300.0, 100.0]] * 3 + [[100.0, 900.0]]
+        )
+        queries = [(100.0, 100.0), (200.0, 100.0), (0.0, 0.0)]
+        for cell in (50.0, 250.0, 1000.0):
+            _assert_queries_match(positions, cell, queries, self.RADII)
+
+    def test_bucket_boundary_points(self):
+        # Points exactly on multiples of the cell edge land on bucket
+        # boundaries; queries centred there must still be exact.
+        cell = 100.0
+        coords = [0.0, 100.0, 200.0, 300.0]
+        positions = np.array([[x, y] for x in coords for y in coords])
+        queries = [(x, y) for x in coords for y in coords][:6]
+        queries.append((150.0, 150.0))
+        _assert_queries_match(
+            positions, cell, queries, (0.0, 100.0, 100.0 * np.sqrt(2), 250.0)
+        )
+
+    def test_radius_zero_hits_exact_matches_only(self):
+        positions = np.array([[5.0, 5.0], [5.0, 5.0], [6.0, 5.0]])
+        index = UniformGridIndex(positions, cell_size_m=10.0)
+        np.testing.assert_array_equal(
+            index.query_radius(5.0, 5.0, 0.0), np.array([0, 1])
+        )
+
+    def test_radius_larger_than_extent_returns_everything(self):
+        rng = np.random.default_rng(3)
+        positions = _points_array(uniform_random_placement(64, 500.0, rng))
+        index = UniformGridIndex(positions, cell_size_m=50.0)
+        np.testing.assert_array_equal(
+            index.query_radius(250.0, 250.0, 1e9), np.arange(64)
+        )
+
+    def test_single_point_and_empty(self):
+        empty = UniformGridIndex(np.zeros((0, 2)), cell_size_m=10.0)
+        assert empty.query_radius(0.0, 0.0, 100.0).size == 0
+        single = UniformGridIndex(np.array([[3.0, 4.0]]), cell_size_m=1.0)
+        np.testing.assert_array_equal(
+            single.query_radius(0.0, 0.0, 5.0), np.array([0])
+        )
+        assert single.query_radius(0.0, 0.0, 4.999).size == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        count=st.integers(min_value=1, max_value=80),
+        cell=st.floats(min_value=1e-3, max_value=5e4),
+        radius=st.floats(min_value=0.0, max_value=5e3),
+    )
+    def test_randomized_agreement(self, seed, count, cell, radius):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(-1e3, 1e3, size=(count, 2))
+        index = UniformGridIndex(positions, cell_size_m=cell)
+        x, y = rng.uniform(-2e3, 2e3, size=2)
+        np.testing.assert_array_equal(
+            index.query_radius(float(x), float(y), float(radius)),
+            brute_force_radius_query(positions, float(x), float(y), float(radius)),
+        )
+
+
+class TestBucketStructure:
+    def test_members_ascending_and_partition(self):
+        rng = np.random.default_rng(5)
+        positions = rng.uniform(0.0, 1000.0, size=(200, 2))
+        index = UniformGridIndex(positions, cell_size_m=120.0)
+        seen = []
+        for row, col, members in index.nonempty_cells():
+            assert members.size > 0
+            assert np.all(np.diff(members) > 0)
+            np.testing.assert_array_equal(members, index.cell_members(row, col))
+            seen.append(members)
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(seen)), np.arange(200)
+        )
+
+    def test_block_members_cover_radius(self):
+        # The 3x3 block around a bucket must contain every point within
+        # one cell edge of any member — the invariant the topology
+        # builder's candidate enumeration rests on.
+        rng = np.random.default_rng(9)
+        positions = rng.uniform(0.0, 800.0, size=(150, 2))
+        cell = 90.0
+        index = UniformGridIndex(positions, cell_size_m=cell)
+        for row, col, members in index.nonempty_cells():
+            block = set(index.block_members(row, col, reach=1).tolist())
+            for m in members.tolist():
+                x, y = positions[m]
+                within = brute_force_radius_query(positions, x, y, cell)
+                assert set(within.tolist()) <= block
+
+    def test_cell_axis_cap_keeps_queries_exact(self):
+        # A degenerate cell size over a huge extent must widen buckets
+        # (never allocate > MAX_CELLS_PER_AXIS^2) yet stay exact.
+        rng = np.random.default_rng(13)
+        positions = rng.uniform(0.0, 1e6, size=(100, 2))
+        index = UniformGridIndex(positions, cell_size_m=1e-6)
+        rows, cols = index.shape
+        assert rows <= MAX_CELLS_PER_AXIS and cols <= MAX_CELLS_PER_AXIS
+        extent = float((positions.max(axis=0) - positions.min(axis=0)).max())
+        assert index.cell_size_m >= extent / MAX_CELLS_PER_AXIS
+        for x, y in positions[:5]:
+            np.testing.assert_array_equal(
+                index.query_radius(x, y, 5e4),
+                brute_force_radius_query(positions, x, y, 5e4),
+            )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex(np.zeros((3, 3)), cell_size_m=1.0)
+        with pytest.raises(ValueError):
+            UniformGridIndex(np.zeros((3, 2)), cell_size_m=0.0)
+        index = UniformGridIndex(np.zeros((3, 2)), cell_size_m=1.0)
+        with pytest.raises(ValueError):
+            index.query_radius(0.0, 0.0, -1.0)
