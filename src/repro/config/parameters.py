@@ -185,6 +185,12 @@ class ScenarioParameters:
         Point(500.0, 500.0),
         Point(1500.0, 500.0),
     )
+    #: Explicit user placement (must have ``num_users`` entries); None
+    #: (the paper's setup) draws users uniformly at random in the area.
+    #: Pinned placements make *structured* deployments expressible —
+    #: e.g. the per-cell user clusters of the shard-equivalence tests,
+    #: where traffic must stay contained inside each BS-anchored region.
+    user_positions: Optional[Tuple[Point, ...]] = None
 
     # --- PHY -----------------------------------------------------------
     # Calibration note (DESIGN.md section "unit conventions"): with the

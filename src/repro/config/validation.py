@@ -53,6 +53,22 @@ def validate_parameters(params: ScenarioParameters) -> None:
                 f"base_station_positions[{idx}] = {pos} lies outside the "
                 f"{params.area_side_m} m square area"
             )
+    if params.user_positions is not None:
+        if len(params.user_positions) != params.num_users:
+            errors.append(
+                f"user_positions has {len(params.user_positions)} entries "
+                f"but num_users={params.num_users}"
+            )
+        for idx, pos in enumerate(params.user_positions):
+            inside = (
+                0.0 <= pos.x <= params.area_side_m
+                and 0.0 <= pos.y <= params.area_side_m
+            )
+            if not inside:
+                errors.append(
+                    f"user_positions[{idx}] = {pos} lies outside the "
+                    f"{params.area_side_m} m square area"
+                )
 
     _positive(params.path_loss_exponent, "path_loss_exponent", errors)
     _positive(params.propagation_constant, "propagation_constant", errors)

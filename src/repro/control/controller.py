@@ -324,20 +324,26 @@ class DriftPlusPenaltyController:
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
+    #
+    # decide() is split into phase methods so variant controllers (the
+    # sharded loop in ``repro.sharding``) can replace how a phase
+    # *computes* while the slot-level sequencing — S1, curtailment, S2,
+    # S3, S4, contract checks — stays in one place.
 
-    def decide(
-        self, observation: SlotObservation, state: NetworkState
-    ) -> SlotDecision:
-        """Solve one slot of the online problem P3."""
-        h_backlogs = state.h_backlogs()
-
+    def _schedule_phase(
+        self,
+        observation: SlotObservation,
+        state: NetworkState,
+        h_backlogs: Mapping[Link, float],
+        arrays,
+    ) -> ScheduleDecision:
+        """S1: link activation, band assignment, and power control."""
         forbidden = None
         if self._allowed_links is not None:
             forbidden = [
                 link for link, ok in self._allowed_links.items() if not ok
             ]
-        arrays = getattr(state, "arrays", None)
-        schedule = self.scheduler.schedule(
+        return self.scheduler.schedule(
             observation,
             h_backlogs,
             forbidden_links=forbidden,
@@ -345,12 +351,18 @@ class DriftPlusPenaltyController:
                 observation.slot, use_arrays=arrays is not None
             ),
         )
-        curtailed_before = len(schedule.dropped)
-        demands = self._curtail(schedule, observation, state, h_backlogs)
-        curtailed = schedule.dropped[curtailed_before:]
 
-        admission = self.allocator.allocate(state.backlog, slot=observation.slot)
-        routing = self.router.route(
+    def _routing_phase(
+        self,
+        observation: SlotObservation,
+        schedule: ScheduleDecision,
+        admission,
+        state: NetworkState,
+        h_backlogs: Mapping[Link, float],
+        arrays,
+    ):
+        """S3: backpressure routing over the scheduled capacities."""
+        return self.router.route(
             observation,
             schedule,
             admission,
@@ -358,6 +370,23 @@ class DriftPlusPenaltyController:
             h_backlogs,
             allowed_links=self._allowed_links,
             arrays=arrays,
+        )
+
+    def decide(
+        self, observation: SlotObservation, state: NetworkState
+    ) -> SlotDecision:
+        """Solve one slot of the online problem P3."""
+        h_backlogs = state.h_backlogs()
+
+        arrays = getattr(state, "arrays", None)
+        schedule = self._schedule_phase(observation, state, h_backlogs, arrays)
+        curtailed_before = len(schedule.dropped)
+        demands = self._curtail(schedule, observation, state, h_backlogs)
+        curtailed = schedule.dropped[curtailed_before:]
+
+        admission = self.allocator.allocate(state.backlog, slot=observation.slot)
+        routing = self._routing_phase(
+            observation, schedule, admission, state, h_backlogs, arrays
         )
 
         if arrays is not None:

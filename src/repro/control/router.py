@@ -183,6 +183,7 @@ class BackpressureRouter:
         h_backlogs: Mapping[Link, float],
         allowed_links: Optional[Mapping[Link, bool]] = None,
         arrays: Optional[ArrayState] = None,
+        coeff: Optional[LinkSessionMat] = None,
     ) -> RoutingDecision:
         """Solve S3 for one slot.
 
@@ -199,6 +200,12 @@ class BackpressureRouter:
                 array expression over the link index; selection order,
                 tie sets, and RNG draws are unchanged, so decisions are
                 bit-identical to the scalar path.
+            coeff: optional precomputed ``(L, S)`` objective-coefficient
+                matrix (requires ``arrays``).  The sharded controller
+                fills it shard by shard — each entry is an elementwise
+                function of its own link row, so a sliced fill equals
+                the global expression exactly — and passes it here so
+                the selection/tie-break/RNG machinery stays global.
 
         Returns:
             Per-link per-session rates ``l_ij^s(t)`` in packets.
@@ -213,8 +220,7 @@ class BackpressureRouter:
         # Vectorized coefficient matrix ``(-Q_i^s + Q_j^s + beta H_ij)``
         # over (link, session); destination columns of Q are pinned at
         # 0.0, matching the scalar rule's ``q_rx = 0`` at destinations.
-        coeff = None
-        if (
+        if coeff is None and (
             arrays is not None
             and isinstance(h_backlogs, LinkArrayMapping)
             and h_backlogs.links is arrays.links

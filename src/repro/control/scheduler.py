@@ -266,6 +266,7 @@ class LinkScheduler:
         h_backlogs: LinkArrayMapping,
         energy_prices: Optional[Mapping[NodeId, float]],
         links: Tuple[Link, ...],
+        within: Optional[np.ndarray] = None,
     ) -> Optional[
         Tuple[
             np.ndarray,
@@ -283,13 +284,21 @@ class LinkScheduler:
         mask, and the weight matrix — or ``None`` when no link clears
         the backlog floor.  The elementwise float64 chain mirrors the
         scalar candidate loop's operation order bit for bit.
+
+        ``within`` restricts the scan to a subset of frozen link
+        positions (the sharded loop passes each shard's owned links);
+        every weight is an elementwise function of its own row, so the
+        restricted grid is the exact row-slice of the full one.
         """
         beta = self._constants.beta
         params = self._model.params
         dt = params.slot_seconds
         static = self._scheduler_static(links)
         h_arr = h_backlogs.values_array
-        active = np.flatnonzero(h_arr > _H_EPS)
+        if within is None:
+            active = np.flatnonzero(h_arr > _H_EPS)
+        else:
+            active = within[h_arr[within] > _H_EPS]
         if active.size == 0:
             return None
 
@@ -393,21 +402,44 @@ class LinkScheduler:
         h_backlogs: LinkArrayMapping,
         energy_prices: Optional[Mapping[NodeId, float]],
         links: Tuple[Link, ...],
+        within: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Survivor candidates as ``(link positions, bands, weights)``.
 
         The greedy selector re-sorts candidates globally, so unlike the
         dict path no per-candidate insertion order needs preserving —
         the survivors come straight off the ``keep`` mask with no
-        Python loop.
+        Python loop.  ``within`` restricts the scan to a subset of link
+        positions (see :meth:`_candidate_grid`).
         """
-        grid = self._candidate_grid(observation, h_backlogs, energy_prices, links)
+        grid = self._candidate_grid(
+            observation, h_backlogs, energy_prices, links, within=within
+        )
         if grid is None:
             empty_pos = np.zeros(0, dtype=np.intp)
             return empty_pos, np.zeros(0, dtype=np.intp), np.zeros(0)
         active, _, keep, weight = grid
         rows, bands = np.nonzero(keep)
         return active[rows], bands, weight[rows, bands]
+
+    def candidate_slice(
+        self,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        energy_prices: Optional[Mapping[NodeId, float]] = None,
+        within: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Public shard entry: survivor candidates over a link subset.
+
+        The sharded controller computes each shard's candidates with
+        ``within=shard.owned_link_pos`` and merges the slices through
+        :meth:`schedule_from_candidates`; on the full index
+        (``within=None``) this is exactly the monolithic candidate scan.
+        """
+        links = self._model.topology.candidate_links
+        return self._candidate_positions(
+            observation, h_backlogs, energy_prices, links, within=within
+        )
 
     def _candidates(
         self,
@@ -835,6 +867,30 @@ class LinkScheduler:
         link_pos, bands, weights = self._candidate_positions(
             observation, h_backlogs, energy_prices, links
         )
+        return self.schedule_from_candidates(
+            link_pos, bands, weights, observation, h_backlogs, forbidden_links, links
+        )
+
+    def schedule_from_candidates(
+        self,
+        link_pos: AnyArray,
+        bands: AnyArray,
+        weights: AnyArray,
+        observation: SlotObservation,
+        h_backlogs: LinkArrayMapping,
+        forbidden_links: Optional[Iterable[Link]],
+        links: Tuple[Link, ...],
+    ) -> ScheduleDecision:
+        """The selection + power-control tail of the GREEDY array path.
+
+        Accepts precomputed candidate ``(link position, band, weight)``
+        triples in **any** order: the greedy selector lexsorts them over
+        unique ``(weight, tx, rx, band)`` keys, so any concatenation of
+        per-shard candidate slices produces the same decision as the
+        monolithic scan.  The sharded controller calls this directly as
+        its S1 merge point (interference coordination is global — the
+        per-band power solve couples all co-band links).
+        """
         if forbidden_links:
             banned = set(forbidden_links)
             if banned:

@@ -79,9 +79,13 @@ def build_nodes(
                 energy=params.bs_energy,
             )
         )
-    user_positions: Sequence[Point] = uniform_random_placement(
-        params.num_users, params.area_side_m, rng
-    )
+    user_positions: Sequence[Point]
+    if params.user_positions is not None:
+        user_positions = list(params.user_positions)
+    else:
+        user_positions = uniform_random_placement(
+            params.num_users, params.area_side_m, rng
+        )
     for offset, position in enumerate(user_positions):
         nodes.append(
             Node(

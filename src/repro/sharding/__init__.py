@@ -1,0 +1,20 @@
+"""Multi-cell sharding: BS-anchored regions with boundary-queue exchange.
+
+See ``docs/architecture.md`` ("Sharded slot loop") for the partition /
+halo / exchange design and the determinism argument.
+"""
+
+from repro.sharding.controller import ShardedController
+from repro.sharding.engine import ShardedSlotSimulator
+from repro.sharding.partition import Shard, ShardPlan, build_shard_plan
+from repro.sharding.state import BoundaryExchange, ShardedNetworkState
+
+__all__ = [
+    "BoundaryExchange",
+    "Shard",
+    "ShardPlan",
+    "ShardedController",
+    "ShardedNetworkState",
+    "ShardedSlotSimulator",
+    "build_shard_plan",
+]

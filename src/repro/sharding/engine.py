@@ -1,0 +1,83 @@
+"""The sharded slot simulator.
+
+``ShardedSlotSimulator`` is a :class:`~repro.sim.engine.SlotSimulator`
+whose state and controller are built over one shared
+:class:`~repro.sharding.partition.ShardPlan`:
+
+* the state is a :class:`~repro.sharding.state.ShardedNetworkState`
+  (global buffer build = boundary exchange, per-shard slice applies);
+* the controller is a
+  :class:`~repro.sharding.controller.ShardedController` (per-shard S1
+  candidate scans and S3 coefficient fills, global merge points).
+
+RNG construction, model build, contract wiring, metrics, and the
+observe → decide → apply step are all inherited, so a sharded run with
+``num_shards=1`` consumes byte-for-byte the same streams — and produces
+bit-identical decisions and state — as the monolithic GREEDY simulator.
+The relaxed LP bound solves one global program by definition and is not
+shardable; use :meth:`SlotSimulator.relaxed` for it.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import ScenarioParameters
+from repro.control.router import RouterMode
+from repro.core.lyapunov import LyapunovConstants
+from repro.model import NetworkModel
+from repro.sharding.controller import ShardedController
+from repro.sharding.partition import ShardPlan, build_shard_plan
+from repro.sharding.state import BoundaryExchange, ShardedNetworkState
+from repro.sim.engine import ContractsArg, Controller, SlotSimulator
+from repro.sim.rng import RngStreams
+from repro.types import EnergySolverKind
+
+__all__ = ["ShardedSlotSimulator"]
+
+
+class ShardedSlotSimulator(SlotSimulator):
+    """A scenario wired up to run shard-local S1–S4 passes."""
+
+    def __init__(
+        self,
+        params: ScenarioParameters,
+        num_shards: int,
+        energy_solver: EnergySolverKind = EnergySolverKind.PRICE_DECOMPOSITION,
+        router_mode: RouterMode = RouterMode.POTENTIAL_CAPACITY,
+        contracts: ContractsArg = None,
+    ) -> None:
+        # The base constructor builds the state before the controller,
+        # so the plan is derived once in the state factory and shared
+        # with the controller factory through this closure slot.
+        holder: dict = {}
+
+        def state_factory(
+            model: NetworkModel, constants: LyapunovConstants, rng
+        ) -> ShardedNetworkState:
+            plan = build_shard_plan(model, num_shards)
+            holder["plan"] = plan
+            return ShardedNetworkState(model, constants, rng, plan=plan)
+
+        def controller_factory(
+            model: NetworkModel, constants: LyapunovConstants, rng: RngStreams
+        ) -> Controller:
+            return ShardedController(
+                holder["plan"],
+                model,
+                constants,
+                rng.controller,
+                energy_solver=energy_solver,
+                router_mode=router_mode,
+            )
+
+        super().__init__(
+            params,
+            controller_factory,
+            contracts=contracts,
+            state_cls=state_factory,  # type: ignore[arg-type]
+        )
+        self.plan: ShardPlan = holder["plan"]
+
+    @property
+    def exchange(self) -> BoundaryExchange:
+        """The state's boundary-exchange diagnostics."""
+        return self.state.exchange

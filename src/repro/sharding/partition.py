@@ -1,0 +1,287 @@
+"""BS-anchored topology partitioning for the sharded slot loop.
+
+A :class:`ShardPlan` splits a network into ``num_shards`` regions, each
+anchored on a contiguous spatial group of base stations:
+
+1. Base stations are ordered spatially by walking the non-empty cells of
+   a :class:`~repro.network.geometry.UniformGridIndex` built over the BS
+   positions (row-major cell order, ascending members within a cell), so
+   nearby stations land in the same anchor group.
+2. The ordered stations are cut into ``num_shards`` contiguous groups of
+   near-equal size — the shard anchors.
+3. Every node joins the shard of its nearest base station (lowest BS id
+   wins exact distance ties); a base station's nearest station is itself,
+   so anchors always live in their own shard.
+
+Ownership over the frozen link index follows the transmitter: shard ``s``
+owns link position ``p`` iff ``node_shard[link_tx[p]] == s``.  A link
+whose endpoints live in different shards is a *boundary* link; it appears
+in the halo of **both** adjacent shards (the owner needs the receiver's
+queue backlog for routing weights, the receiver's shard needs the
+arrival when the boundary exchange applies Eq. 15).
+
+The plan is purely structural — it never reorders the frozen node/link
+indices, so per-shard work is expressed as index slices into the same
+global arrays the monolithic path uses.  That is what makes the sharded
+loop bit-identical (see ``docs/architecture.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShardingError
+from repro.model import NetworkModel
+from repro.network.geometry import UniformGridIndex
+from repro.sim.rng import SpawnKey, spawn_child_keys
+
+__all__ = ["Shard", "ShardPlan", "build_shard_plan"]
+
+#: Target entries per chunk of the (nodes x stations) distance block in
+#: the nearest-BS assignment, bounding peak memory at large N * B.
+_ASSIGN_CHUNK_ENTRIES = 4_000_000
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One BS-anchored region of a :class:`ShardPlan`.
+
+    Attributes:
+        shard_id: dense shard index ``0 .. num_shards - 1``.
+        anchor_bs: base-station ids anchoring this shard (spatial order).
+        node_rows: frozen node indices owned by the shard, ascending.
+        owned_link_pos: frozen link positions whose transmitter lives in
+            this shard, ascending.
+        halo_link_pos: boundary link positions touching this shard
+            (either endpoint local, the other remote), ascending.
+        session_cols: session columns (ArrayState column order) whose
+            destination lives in this shard, ascending.
+        spawn_key: ``SeedSequence`` spawn key reserved for this shard so
+            a distributed backend can derive an independent stream
+            without coordinating with its peers.
+    """
+
+    shard_id: int
+    anchor_bs: Tuple[int, ...]
+    node_rows: np.ndarray = field(repr=False)
+    owned_link_pos: np.ndarray = field(repr=False)
+    halo_link_pos: np.ndarray = field(repr=False)
+    session_cols: np.ndarray = field(repr=False)
+    spawn_key: SpawnKey = ()
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes owned by this shard."""
+        return int(self.node_rows.size)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full partition of one network into BS-anchored shards.
+
+    Attributes:
+        num_shards: shard count.
+        shards: the shards, ordered by ``shard_id``.
+        node_shard: ``(N,)`` owning shard per frozen node index.
+        link_shard: ``(L,)`` owning shard per frozen link position
+            (the transmitter's shard).
+        boundary_link_pos: frozen link positions whose endpoints live in
+            different shards, ascending — the exchange set.
+    """
+
+    num_shards: int
+    shards: Tuple[Shard, ...]
+    node_shard: np.ndarray = field(repr=False)
+    link_shard: np.ndarray = field(repr=False)
+    boundary_link_pos: np.ndarray = field(repr=False)
+
+    def validate(self) -> None:
+        """Check the structural invariants of the partition.
+
+        Raises:
+            ShardingError: if any node or link is unowned/doubly owned, or
+                a boundary link is missing from an adjacent halo.
+        """
+        num_nodes = self.node_shard.size
+        owned_nodes = np.concatenate(
+            [shard.node_rows for shard in self.shards]
+        )
+        if not np.array_equal(np.sort(owned_nodes), np.arange(num_nodes)):
+            raise ShardingError("shards do not partition the node index")
+        num_links = self.link_shard.size
+        owned_links = np.concatenate(
+            [shard.owned_link_pos for shard in self.shards]
+        )
+        if not np.array_equal(np.sort(owned_links), np.arange(num_links)):
+            raise ShardingError("shards do not partition the link index")
+        boundary = set(self.boundary_link_pos.tolist())
+        halos = {
+            shard.shard_id: set(shard.halo_link_pos.tolist())
+            for shard in self.shards
+        }
+        for shard_id, halo in halos.items():
+            if not halo <= boundary:
+                raise ShardingError(
+                    f"shard {shard_id} halo contains interior links"
+                )
+        for pos in sorted(boundary):
+            members = sorted(
+                shard_id for shard_id, halo in halos.items() if pos in halo
+            )
+            expected = sorted(
+                {
+                    int(self.link_shard[pos]),
+                    int(self.node_shard[self._link_rx[pos]]),
+                }
+            )
+            if members != expected:
+                raise ShardingError(
+                    f"boundary link {pos} halos {members} != adjacent"
+                    f" shards {expected}"
+                )
+
+    # validate() needs link_rx; the builder stores it privately so the
+    # public surface stays the ownership arrays.
+    _link_rx: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+
+def _spatial_bs_order(model: NetworkModel) -> np.ndarray:
+    """Base-station ids in spatial (grid-cell row-major) order."""
+    bs_ids = np.asarray(model.bs_ids, dtype=np.intp)
+    positions = np.array(
+        [[model.nodes[b].position.x, model.nodes[b].position.y] for b in bs_ids]
+    )
+    extent = float(positions.max() - positions.min()) if bs_ids.size > 1 else 1.0
+    # Aim for roughly one station per cell so the row-major walk is a
+    # genuine space-filling order rather than one giant bucket.
+    cell = max(extent / max(int(np.sqrt(bs_ids.size)), 1), 1e-9)
+    grid = UniformGridIndex(positions, cell)
+    ordered = [
+        int(bs_ids[member])
+        for _row, _col, members in grid.nonempty_cells()
+        for member in members
+    ]
+    return np.asarray(ordered, dtype=np.intp)
+
+
+def _assign_nearest_bs(model: NetworkModel, bs_ids: np.ndarray) -> np.ndarray:
+    """``(N,)`` index into ``bs_ids`` of each node's nearest station.
+
+    Chunked over nodes so the (chunk, B) distance block stays bounded;
+    ties resolve to the lowest *position in bs_ids* via argmin, which is
+    the lowest BS id because ``bs_ids`` is passed ascending.
+    """
+    positions = np.array(
+        [[node.position.x, node.position.y] for node in model.nodes]
+    )
+    stations = positions[bs_ids]
+    num_nodes = positions.shape[0]
+    chunk = max(1, _ASSIGN_CHUNK_ENTRIES // max(bs_ids.size, 1))
+    nearest = np.empty(num_nodes, dtype=np.intp)
+    for start in range(0, num_nodes, chunk):
+        block = positions[start : start + chunk]
+        deltas = block[:, None, :] - stations[None, :, :]  # noqa: R041 - chunked (chunk, B) block, not all-pairs; peak memory bounded by _ASSIGN_CHUNK_ENTRIES
+        dist_sq = (deltas**2).sum(axis=2)
+        nearest[start : start + chunk] = np.argmin(dist_sq, axis=1)
+    return nearest
+
+
+def build_shard_plan(model: NetworkModel, num_shards: int) -> ShardPlan:
+    """Partition ``model`` into ``num_shards`` BS-anchored shards.
+
+    Args:
+        model: the static network model (frozen node/link indices).
+        num_shards: target shard count; must satisfy
+            ``1 <= num_shards <= len(model.bs_ids)``.
+
+    Returns:
+        A validated :class:`ShardPlan`.
+
+    Raises:
+        ShardingError: on an infeasible shard count.
+    """
+    bs_ids = np.asarray(model.bs_ids, dtype=np.intp)
+    if num_shards < 1:
+        raise ShardingError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > bs_ids.size:
+        raise ShardingError(
+            f"num_shards={num_shards} exceeds the {bs_ids.size}"
+            " base stations available as anchors"
+        )
+
+    ordered_bs = _spatial_bs_order(model)
+    base, extra = divmod(ordered_bs.size, num_shards)
+    groups = []
+    cursor = 0
+    for shard_id in range(num_shards):
+        size = base + (1 if shard_id < extra else 0)
+        groups.append(tuple(int(b) for b in ordered_bs[cursor : cursor + size]))
+        cursor += size
+
+    # Shard of each *station*, indexed by position in ascending bs_ids.
+    bs_shard_by_id: Dict[int, int] = {
+        b: shard_id for shard_id, group in enumerate(groups) for b in group
+    }
+    station_shard = np.array(
+        [bs_shard_by_id[int(b)] for b in bs_ids], dtype=np.intp
+    )
+
+    nearest = _assign_nearest_bs(model, bs_ids)
+    node_shard = station_shard[nearest]
+    # A station's nearest station is itself (distance 0 beats every
+    # other draw; equal-position stations collapse to the lowest id,
+    # which is fine — they are spatially indistinguishable anchors).
+
+    link_tx, link_rx = model.topology.link_arrays()
+    link_shard = node_shard[link_tx]
+    rx_shard = node_shard[link_rx]
+    boundary_link_pos = np.flatnonzero(link_shard != rx_shard)
+
+    destinations = model.session_destinations()
+    session_dest = np.array(
+        [destinations[s.session_id] for s in model.sessions], dtype=np.intp
+    )
+    session_shard = (
+        node_shard[session_dest]
+        if session_dest.size
+        else np.zeros(0, dtype=np.intp)
+    )
+
+    spawn_keys = spawn_child_keys(
+        model.params.seed, num_shards, base=model.params.seed_spawn_key
+    )
+
+    shards = []
+    for shard_id in range(num_shards):
+        local_nodes = np.flatnonzero(node_shard == shard_id)
+        owned = np.flatnonzero(link_shard == shard_id)
+        touches = (link_shard[boundary_link_pos] == shard_id) | (
+            rx_shard[boundary_link_pos] == shard_id
+        )
+        halo = boundary_link_pos[touches]
+        cols = np.flatnonzero(session_shard == shard_id)
+        shards.append(
+            Shard(
+                shard_id=shard_id,
+                anchor_bs=groups[shard_id],
+                node_rows=local_nodes,
+                owned_link_pos=owned,
+                halo_link_pos=halo,
+                session_cols=cols,
+                spawn_key=spawn_keys[shard_id],
+            )
+        )
+
+    plan = ShardPlan(
+        num_shards=num_shards,
+        shards=tuple(shards),
+        node_shard=node_shard,
+        link_shard=link_shard,
+        boundary_link_pos=boundary_link_pos,
+        _link_rx=link_rx,
+    )
+    plan.validate()
+    return plan

@@ -1,0 +1,135 @@
+"""Shard-aware network state: global buffer build, per-shard apply.
+
+The monolithic :meth:`repro.state.NetworkState.apply` advances Eq. 15
+(data queues), Eq. 28 (link virtual queues), and Eq. 4 (batteries) with
+whole-array kernels.  :class:`ShardedNetworkState` splits each update
+into the two halves the queue banks expose:
+
+1. **build** — one slot's decision dicts are scattered into dense global
+   buffers, walked once in their deterministic global insertion order.
+   This *is* the boundary-queue exchange: a boundary link's routed rate
+   lands in the service buffer at its transmitter's row (one shard) and
+   in the arrival buffer at its receiver's row (the other), in a fixed
+   order that no shard schedule can perturb.
+2. **apply** — each shard advances its own slice (node rows for Eq. 15
+   and Eq. 4, owned link positions for Eq. 28).  Every update is
+   elementwise per queue cell / link / battery, so the per-shard applies
+   compose to bit-for-bit the same state as the monolithic kernels.
+
+:class:`BoundaryExchange` accumulates per-slot diagnostics over the
+plan's boundary set — the contained-traffic equivalence test asserts it
+stays empty when sessions never cross shard borders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.control.decisions import SlotDecision
+from repro.core.lyapunov import LyapunovConstants
+from repro.model import NetworkModel
+from repro.queueing.backlog import BacklogSnapshot, make_snapshot_from_arrays
+from repro.sharding.partition import ShardPlan
+from repro.state import NetworkState
+
+__all__ = ["BoundaryExchange", "ShardedNetworkState"]
+
+
+@dataclass
+class BoundaryExchange:
+    """Running totals of traffic crossing shard borders.
+
+    Attributes:
+        slots: slots recorded so far.
+        cross_arrivals_pkts: packets routed onto boundary links
+            (Eq. 15/28 arrivals a remote shard will absorb), total.
+        cross_service_pkts: scheduled service on boundary links, total.
+        per_slot_arrivals: per-slot boundary arrival totals, in slot
+            order.
+    """
+
+    slots: int = 0
+    cross_arrivals_pkts: float = 0.0
+    cross_service_pkts: float = 0.0
+    per_slot_arrivals: List[float] = field(default_factory=list)
+
+    def record(
+        self,
+        boundary_link_pos: np.ndarray,
+        arrivals: np.ndarray,
+        service: np.ndarray,
+    ) -> None:
+        """Accumulate one slot's boundary totals from the link buffers."""
+        crossed = float(arrivals[boundary_link_pos].sum())
+        self.slots += 1
+        self.cross_arrivals_pkts += crossed
+        self.cross_service_pkts += float(service[boundary_link_pos].sum())
+        self.per_slot_arrivals.append(crossed)
+
+    @property
+    def contained(self) -> bool:
+        """True while no packet has ever crossed a shard border."""
+        return (
+            self.cross_arrivals_pkts == 0.0  # noqa: R002 - exact zero is the contract: totals are sums of non-negative packet counts, so any crossing makes them strictly positive
+            and self.cross_service_pkts == 0.0  # noqa: R002 - same exact-zero containment contract as above
+        )
+
+
+class ShardedNetworkState(NetworkState):
+    """Array-backed state advanced shard by shard.
+
+    Construction, RNG stream consumption, and every read accessor are
+    inherited unchanged — only :meth:`apply` is replaced by the
+    build-globally / apply-per-shard split described in the module
+    docstring, so observations and controller inputs are bitwise those
+    of the monolithic state.
+    """
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        constants: LyapunovConstants,
+        rng: np.random.Generator,
+        plan: ShardPlan,
+    ) -> None:
+        super().__init__(model, constants, rng)
+        self.plan = plan
+        self.exchange = BoundaryExchange()
+
+    def apply(
+        self,
+        decision: SlotDecision,
+        slot: int,
+        enforce_complementarity: bool = True,
+    ) -> BacklogSnapshot:
+        """Apply one slot's decision via the sharded exchange protocol."""
+        # Exchange: build every global buffer first, in fixed order.
+        q_service, q_arrivals = self.data_queues.build_buffers(
+            decision.routing.rates, decision.admission.as_queue_arrivals()
+        )
+        g_arrivals, g_service = self.virtual_queues.build_buffers(
+            decision.routing.link_totals(), decision.schedule.link_service_pkts
+        )
+        charge_j, drain_j = self._build_battery_buffers(
+            decision, enforce_complementarity
+        )
+        self.exchange.record(
+            self.plan.boundary_link_pos, g_arrivals, g_service
+        )
+
+        # Shard-local applies over disjoint slices of the shared arrays.
+        for shard in self.plan.shards:
+            self.data_queues.apply_buffers(
+                q_service, q_arrivals, rows=shard.node_rows
+            )
+            self.virtual_queues.apply_buffers(
+                g_arrivals, g_service, positions=shard.owned_link_pos
+            )
+            self.arrays.apply_battery_actions(
+                charge_j, drain_j, rows=shard.node_rows
+            )
+
+        return make_snapshot_from_arrays(slot=slot, arrays=self.arrays)

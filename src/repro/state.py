@@ -455,6 +455,24 @@ class NetworkState:
             )
 
         arrays = self.arrays
+        charge_j, drain_j = self._build_battery_buffers(
+            decision, enforce_complementarity
+        )
+        arrays.apply_battery_actions(charge_j, drain_j)
+
+        return make_snapshot_from_arrays(slot=slot, arrays=arrays)
+
+    def _build_battery_buffers(
+        self, decision: SlotDecision, enforce_complementarity: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter the S4 allocations into ``(charge, drain)`` vectors.
+
+        The battery half of the buffer-build/apply split the sharded
+        loop relies on (see the queue banks' ``build_buffers``): the
+        allocation dict is walked once in its global insertion order;
+        the elementwise Eq. 4 update can then run per node-row subset.
+        """
+        arrays = self.arrays
         charge_j = np.zeros(arrays.num_nodes)
         drain_j = np.zeros(arrays.num_nodes)
         for node, allocation in decision.energy.allocations.items():  # noqa: R006 - decision-sized mapping feeding the vectorized kernel
@@ -466,9 +484,7 @@ class NetworkState:
             net = charge_j - drain_j
             charge_j = np.maximum(net, 0.0)
             drain_j = np.maximum(-net, 0.0)
-        arrays.apply_battery_actions(charge_j, drain_j)
-
-        return make_snapshot_from_arrays(slot=slot, arrays=arrays)
+        return charge_j, drain_j
 
 
 class ReferenceNetworkState(NetworkState):

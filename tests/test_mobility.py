@@ -103,6 +103,24 @@ class TestGainMatrixForPositions:
         )
         assert np.allclose(gains, gains.T)
 
+    def test_memoizes_repeated_placement(self):
+        positions = [Point(0, 0), Point(100, 0), Point(0, 300)]
+        first = gain_matrix_for_positions(positions, 62.5, 4.0)
+        again = gain_matrix_for_positions(list(positions), 62.5, 4.0)
+        assert again is first  # served from the memo, not recomputed
+        assert not first.flags.writeable  # callers cannot corrupt the memo
+        moved = gain_matrix_for_positions(
+            [Point(0, 0), Point(101, 0), Point(0, 300)], 62.5, 4.0
+        )
+        assert moved is not first
+        assert not np.allclose(moved, first)
+
+    def test_memo_keyed_on_model_parameters(self):
+        positions = [Point(0, 0), Point(100, 0)]
+        base = gain_matrix_for_positions(positions, 62.5, 4.0)
+        other = gain_matrix_for_positions(positions, 62.5, 3.0)
+        assert not np.allclose(base, other)
+
 
 class TestMobileSimulation:
     @pytest.fixture

@@ -1,0 +1,189 @@
+"""Bit-identity contract of the sharded slot loop.
+
+The spine of ``repro.sharding``: a sharded run is not an approximation
+of the monolithic GREEDY run — it *is* the monolithic run, computed in
+per-shard slices and merged deterministically.  These tests pin that:
+
+* ``num_shards=1`` reproduces the monolithic GREEDY simulator exactly
+  (summary metrics and final queue/battery state, bit for bit);
+* a contained-traffic scenario (isolated per-cell clusters) matches at
+  *every* shard count, with the boundary exchange provably idle;
+* the paper scenario with heavy cross-shard traffic still matches —
+  the boundary-queue exchange carries Eq. 15/28 across shards without
+  perturbing a single bit;
+* misconfigurations fail loudly with :class:`ShardingError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.config.scenarios import paper_scenario
+from repro.exceptions import ShardingError
+from repro.network.geometry import grid_placement
+from repro.sharding import ShardedSlotSimulator, build_shard_plan
+from repro.sim.engine import SlotSimulator
+from repro.types import Point, SchedulerKind
+
+
+def _paper_4bs_params(num_slots: int = 6):
+    """The paper scenario over a 4-BS grid (heavy cross-shard traffic)."""
+    return dataclasses.replace(
+        paper_scenario(num_users=20, num_slots=num_slots),
+        base_station_positions=tuple(grid_placement(4, 2000.0)),
+    )
+
+
+def _contained_params(num_slots: int = 6):
+    """Four isolated cells: clusters farther apart than any link range.
+
+    Users sit within 150 m of their cell's base station while the four
+    stations are 4000 m apart — beyond the ~1880 m maximum feasible
+    link range — so no cross-cell candidate link exists and all traffic
+    is provably contained inside each BS-anchored shard.
+    """
+    side = 8000.0
+    stations = tuple(grid_placement(4, side))
+    users = []
+    for c, center in enumerate(stations):
+        for k in range(4):
+            angle = 2.0 * math.pi * (c * 4 + k) / 16.0
+            radius = 60.0 + 20.0 * k
+            users.append(
+                Point(
+                    center.x + radius * math.cos(angle),
+                    center.y + radius * math.sin(angle),
+                )
+            )
+    return dataclasses.replace(
+        paper_scenario(num_users=16, num_slots=num_slots),
+        area_side_m=side,
+        base_station_positions=stations,
+        user_positions=tuple(users),
+    )
+
+
+def _final_state(simulator: SlotSimulator):
+    arrays = simulator.state.arrays
+    return (
+        arrays.q.copy(),
+        arrays.g.copy(),
+        arrays.battery_level.copy(),
+    )
+
+
+def _run_monolithic(params):
+    sim = SlotSimulator.integral(params, scheduler_kind=SchedulerKind.GREEDY)
+    result = sim.run()
+    return result, _final_state(sim)
+
+
+def _run_sharded(params, num_shards):
+    sim = ShardedSlotSimulator(params, num_shards=num_shards)
+    result = sim.run()
+    return sim, result, _final_state(sim)
+
+
+def _assert_bit_identical(mono, sharded):
+    result_a, state_a = mono
+    result_b, state_b = sharded
+    assert result_a.summary() == result_b.summary()
+    for array_a, array_b in zip(state_a, state_b):
+        assert np.array_equal(array_a, array_b)  # bitwise, not allclose
+
+
+class TestSingleShardIdentity:
+    def test_one_shard_matches_monolithic_greedy(self):
+        params = _paper_4bs_params()
+        mono = _run_monolithic(params)
+        sim, result, state = _run_sharded(params, num_shards=1)
+        _assert_bit_identical(mono, (result, state))
+        assert sim.plan.boundary_link_pos.size == 0
+
+    def test_one_shard_matches_on_two_bs_paper_layout(self):
+        params = paper_scenario(num_slots=6)
+        mono = _run_monolithic(params)
+        _sim, result, state = _run_sharded(params, num_shards=1)
+        _assert_bit_identical(mono, (result, state))
+
+
+class TestContainedTraffic:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_every_shard_count_matches_monolithic(self, num_shards):
+        params = _contained_params()
+        mono = _run_monolithic(params)
+        sim, result, state = _run_sharded(params, num_shards=num_shards)
+        _assert_bit_identical(mono, (result, state))
+        assert sim.exchange.contained
+
+    def test_isolated_cells_have_no_boundary_links(self):
+        sim = ShardedSlotSimulator(_contained_params(num_slots=2), num_shards=4)
+        assert sim.plan.boundary_link_pos.size == 0
+        for shard in sim.plan.shards:
+            assert shard.halo_link_pos.size == 0
+
+
+class TestCrossShardTraffic:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_matches_monolithic_despite_boundary_flow(self, num_shards):
+        params = _paper_4bs_params()
+        mono = _run_monolithic(params)
+        sim, result, state = _run_sharded(params, num_shards=num_shards)
+        _assert_bit_identical(mono, (result, state))
+        # The equivalence is non-trivial: the exchange really carried
+        # packets across shard boundaries every slot.
+        assert not sim.exchange.contained
+        assert sim.exchange.cross_arrivals_pkts > 0.0
+
+    def test_strict_contracts_pass_sharded(self):
+        params = _paper_4bs_params(num_slots=3)
+        sim = ShardedSlotSimulator(params, num_shards=4, contracts="strict")
+        sim.run()
+
+
+class TestShardingErrors:
+    def test_more_shards_than_stations_rejected(self):
+        with pytest.raises(ShardingError, match="exceeds"):
+            ShardedSlotSimulator(_paper_4bs_params(num_slots=2), num_shards=9)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ShardingError, match=">= 1"):
+            ShardedSlotSimulator(_paper_4bs_params(num_slots=2), num_shards=0)
+
+    def test_relaxed_cells_cannot_shard(self):
+        from repro.experiments.executor import (
+            JobSpec,
+            RELAXED_VARIANT,
+            _execute_job,
+        )
+
+        job = JobSpec(
+            params=_paper_4bs_params(num_slots=2),
+            variant=RELAXED_VARIANT,
+            num_shards=2,
+        )
+        with pytest.raises(ShardingError, match="relaxed"):
+            _execute_job(job)
+
+
+class TestExchangeDiagnostics:
+    def test_per_slot_totals_sum_to_run_totals(self):
+        sim = ShardedSlotSimulator(_paper_4bs_params(num_slots=4), num_shards=4)
+        sim.run()
+        exchange = sim.exchange
+        assert exchange.slots == 4
+        assert len(exchange.per_slot_arrivals) == 4
+        assert np.isclose(
+            sum(exchange.per_slot_arrivals), exchange.cross_arrivals_pkts
+        )
+
+    def test_plan_accessible_from_simulator(self):
+        params = _paper_4bs_params(num_slots=2)
+        sim = ShardedSlotSimulator(params, num_shards=2)
+        assert sim.plan.num_shards == 2
+        rebuilt = build_shard_plan(sim.model, 2)
+        assert np.array_equal(rebuilt.node_shard, sim.plan.node_shard)

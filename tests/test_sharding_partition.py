@@ -1,0 +1,170 @@
+"""Property tests for the BS-anchored shard partitioner.
+
+The :class:`~repro.sharding.partition.ShardPlan` invariants the sharded
+slot loop leans on, checked across random placements and shard counts:
+
+* the shards *partition* the frozen node and link indices — every index
+  owned exactly once;
+* every boundary link appears in the halo of exactly its two adjacent
+  shards (and interior links in no halo at all);
+* building plans — at any shard count, in any order — never perturbs
+  the frozen link index the monolithic path uses.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.scenarios import paper_scenario
+from repro.exceptions import ShardingError
+from repro.model import build_network_model
+from repro.network.geometry import grid_placement
+from repro.sharding import build_shard_plan
+
+#: Placement seeds the properties sample over; models are cached per
+#: seed because assembly dominates the test budget.
+_SEEDS = (2014, 7, 1234)
+_NUM_BS = 6
+_NUM_USERS = 30
+
+
+@functools.lru_cache(maxsize=None)
+def _model(seed: int):
+    params = paper_scenario(num_users=_NUM_USERS, num_slots=2, seed=seed)
+    import dataclasses
+
+    params = dataclasses.replace(
+        params,
+        base_station_positions=tuple(grid_placement(_NUM_BS, 2000.0)),
+    )
+    return build_network_model(params, np.random.default_rng(seed))
+
+
+class TestPartitionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.sampled_from(_SEEDS),
+        num_shards=st.integers(min_value=1, max_value=_NUM_BS),
+    )
+    def test_nodes_and_links_partitioned(self, seed, num_shards):
+        model = _model(seed)
+        plan = build_shard_plan(model, num_shards)
+        num_nodes = len(model.nodes)
+        num_links = len(model.topology.candidate_links)
+
+        owned_nodes = np.concatenate(
+            [shard.node_rows for shard in plan.shards]
+        )
+        assert np.array_equal(np.sort(owned_nodes), np.arange(num_nodes))
+        owned_links = np.concatenate(
+            [shard.owned_link_pos for shard in plan.shards]
+        )
+        assert np.array_equal(np.sort(owned_links), np.arange(num_links))
+        # Ownership arrays agree with the per-shard index sets.
+        for shard in plan.shards:
+            assert np.all(plan.node_shard[shard.node_rows] == shard.shard_id)
+            assert np.all(
+                plan.link_shard[shard.owned_link_pos] == shard.shard_id
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.sampled_from(_SEEDS),
+        num_shards=st.integers(min_value=1, max_value=_NUM_BS),
+    )
+    def test_boundary_links_in_exactly_both_adjacent_halos(
+        self, seed, num_shards
+    ):
+        model = _model(seed)
+        plan = build_shard_plan(model, num_shards)
+        link_tx, link_rx = model.topology.link_arrays()
+        halo_membership = {
+            pos: [
+                shard.shard_id
+                for shard in plan.shards
+                if pos in set(shard.halo_link_pos.tolist())
+            ]
+            for pos in range(len(model.topology.candidate_links))
+        }
+        boundary = set(plan.boundary_link_pos.tolist())
+        for pos, members in halo_membership.items():
+            tx_shard = int(plan.node_shard[link_tx[pos]])
+            rx_shard = int(plan.node_shard[link_rx[pos]])
+            if tx_shard == rx_shard:
+                assert pos not in boundary
+                assert members == []  # interior links touch no halo
+            else:
+                assert pos in boundary
+                assert sorted(members) == sorted({tx_shard, rx_shard})
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.sampled_from(_SEEDS),
+        order=st.permutations(list(range(1, _NUM_BS + 1))),
+    )
+    def test_plan_building_never_perturbs_frozen_link_index(
+        self, seed, order
+    ):
+        model = _model(seed)
+        before = tuple(model.topology.candidate_links)
+        tx_before, rx_before = (
+            arr.copy() for arr in model.topology.link_arrays()
+        )
+        for num_shards in order:
+            build_shard_plan(model, num_shards)
+        assert tuple(model.topology.candidate_links) == before
+        tx_after, rx_after = model.topology.link_arrays()
+        assert np.array_equal(tx_after, tx_before)
+        assert np.array_equal(rx_after, rx_before)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.sampled_from(_SEEDS),
+        num_shards=st.integers(min_value=1, max_value=_NUM_BS),
+    )
+    def test_plan_is_deterministic(self, seed, num_shards):
+        model = _model(seed)
+        a = build_shard_plan(model, num_shards)
+        b = build_shard_plan(model, num_shards)
+        assert a.num_shards == b.num_shards
+        for sa, sb in zip(a.shards, b.shards):
+            assert sa.anchor_bs == sb.anchor_bs
+            assert np.array_equal(sa.node_rows, sb.node_rows)
+            assert np.array_equal(sa.owned_link_pos, sb.owned_link_pos)
+            assert np.array_equal(sa.halo_link_pos, sb.halo_link_pos)
+            assert sa.spawn_key == sb.spawn_key
+
+
+class TestShardStructure:
+    def test_anchors_live_in_their_own_shard(self):
+        model = _model(2014)
+        plan = build_shard_plan(model, 4)
+        for shard in plan.shards:
+            for bs in shard.anchor_bs:
+                assert int(plan.node_shard[bs]) == shard.shard_id
+
+    def test_spawn_keys_distinct(self):
+        model = _model(2014)
+        plan = build_shard_plan(model, 4)
+        keys = [shard.spawn_key for shard in plan.shards]
+        assert len(set(keys)) == len(keys)
+
+    def test_single_shard_owns_everything(self):
+        model = _model(2014)
+        plan = build_shard_plan(model, 1)
+        assert plan.boundary_link_pos.size == 0
+        (shard,) = plan.shards
+        assert shard.num_nodes == len(model.nodes)
+        assert shard.halo_link_pos.size == 0
+
+    def test_infeasible_counts_rejected(self):
+        model = _model(2014)
+        with pytest.raises(ShardingError, match=">= 1"):
+            build_shard_plan(model, 0)
+        with pytest.raises(ShardingError, match="exceeds"):
+            build_shard_plan(model, _NUM_BS + 1)
